@@ -1,0 +1,59 @@
+"""Scenario: selecting astronaut candidates for a mission (the paper's Q_A).
+
+A mission planner short-lists astronauts with a physics background and between
+one and three space walks, ranked by accumulated flight hours.  The agency
+wants the short-list to include women and astronauts at different career
+stages.  The script compares the three distance measures and shows how the
+choice of minimality notion changes the recommended refinement.
+
+Run with::
+
+    python examples/astronaut_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ConstraintSet, RefinementSolver, at_least
+from repro.datasets import astronauts_database, astronauts_query
+from repro.relational import QueryExecutor, render_sql
+
+
+def main() -> None:
+    database = astronauts_database()
+    query = astronauts_query()
+    executor = QueryExecutor(database)
+
+    print("Mission short-list query:")
+    print(render_sql(query))
+    original = executor.evaluate(query)
+    print(f"\nThe query returns {len(original)} candidates; top-10 gender mix:")
+    women = original.count_in_top_k(10, lambda row: row["Gender"] == "F")
+    print(f"  women in top-10: {women}")
+
+    constraints = ConstraintSet(
+        [
+            at_least(3, 10, Gender="F"),
+            at_least(2, 10, Status="Active"),
+        ]
+    )
+    print("\nConstraints:", constraints)
+
+    for distance in ("pred", "jaccard", "kendall"):
+        result = RefinementSolver(
+            database, query, constraints, epsilon=0.5, distance=distance
+        ).solve()
+        print(f"\n--- distance measure: {distance} ---")
+        print(result.summary())
+        if result.feasible:
+            print("refinement:", result.refinement.describe(query))
+            women = result.refined_result.count_in_top_k(
+                10, lambda row: row["Gender"] == "F"
+            )
+            active = result.refined_result.count_in_top_k(
+                10, lambda row: row["Status"] == "Active"
+            )
+            print(f"top-10 after refinement: {women} women, {active} active astronauts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a reproduction of "Query Refinement for Diverse Top-k Selection".
+
+The package is organised as:
+
+* :mod:`repro.milp` — mixed-integer linear programming substrate (modeling
+  layer + exact solvers).
+* :mod:`repro.relational` — in-memory relational engine for SPJ queries with
+  ``ORDER BY`` / ``DISTINCT``, plus a sqlite backend.
+* :mod:`repro.provenance` — data annotations (lineage) over query results.
+* :mod:`repro.datasets` — the running example and synthetic stand-ins for the
+  paper's benchmark datasets (Astronauts, Law Students, MEPS, TPC-H).
+* :mod:`repro.core` — the paper's contribution: cardinality constraints over
+  top-k prefixes, refinement distance measures, the MILP formulation, the
+  Section 4 optimizations, and baseline algorithms.
+
+The high-level entry point is :class:`repro.core.RefinementSolver`; see
+``examples/quickstart.py``.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

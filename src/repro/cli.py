@@ -1,0 +1,222 @@
+"""Command-line interface: refine benchmark queries without writing code.
+
+Examples
+--------
+List the bundled datasets and their queries::
+
+    python -m repro datasets
+
+Show a dataset's query, its ranking and group statistics::
+
+    python -m repro inspect --dataset students --top 6 --group Gender=F
+
+Solve a refinement problem (the running example)::
+
+    python -m repro refine --dataset students \
+        --at-least 3@6:Gender=F --at-most 1@3:Income=High \
+        --epsilon 0 --distance pred --method milp+opt
+
+Constraint syntax: ``BOUND@K:Attr=Value[,Attr2=Value2]`` — e.g. ``3@6:Gender=F``
+means "at least/at most 3 tuples of the group Gender=F within the top-6".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.core import (
+    CardinalityConstraint,
+    ConstraintSet,
+    Group,
+    RefinementSolver,
+    at_least,
+    at_most,
+)
+from repro.datasets import load_dataset
+from repro.datasets.registry import DATASET_BUILDERS
+from repro.exceptions import ReproError
+from repro.relational import QueryExecutor, render_sql
+
+
+def _parse_group(text: str) -> dict[str, str]:
+    conditions: dict[str, str] = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"invalid group condition {part!r}; expected Attr=Value"
+            )
+        attribute, _, value = part.partition("=")
+        conditions[attribute.strip()] = value.strip()
+    if not conditions:
+        raise argparse.ArgumentTypeError(f"empty group specification {text!r}")
+    return conditions
+
+
+def parse_constraint(text: str, kind: str) -> CardinalityConstraint:
+    """Parse ``BOUND@K:Attr=Value[,Attr=Value]`` into a cardinality constraint."""
+    try:
+        bound_and_k, _, group_text = text.partition(":")
+        bound_text, _, k_text = bound_and_k.partition("@")
+        bound = int(bound_text)
+        k = int(k_text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"invalid constraint {text!r}; expected BOUND@K:Attr=Value"
+        ) from exc
+    if not group_text:
+        raise argparse.ArgumentTypeError(
+            f"constraint {text!r} is missing its group (Attr=Value)"
+        )
+    conditions = _parse_group(group_text)
+    builder = at_least if kind == "lower" else at_most
+    return builder(bound, k, **conditions)
+
+
+def _dataset_parameters(args: argparse.Namespace) -> dict:
+    parameters: dict = {}
+    if args.rows is not None:
+        parameters["num_rows"] = args.rows
+    if args.scale_factor is not None:
+        parameters["scale_factor"] = args.scale_factor
+    if args.seed is not None:
+        parameters["seed"] = args.seed
+    return parameters
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", required=True, choices=sorted(DATASET_BUILDERS), help="dataset name"
+    )
+    parser.add_argument("--rows", type=int, default=None, help="override the number of rows")
+    parser.add_argument(
+        "--scale-factor", type=float, default=None, help="TPC-H scale factor override"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="generator seed override")
+
+
+def _command_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':<14} {'relations':<40} query")
+    for name in sorted(DATASET_BUILDERS):
+        parameters = {"num_rows": 200} if name in ("law_students", "meps") else {}
+        if name == "tpch":
+            parameters = {"scale_factor": 0.05}
+        bundle = load_dataset(name, **parameters)
+        relations = ", ".join(bundle.database.names)
+        print(f"{name:<14} {relations:<40} {bundle.query.name}")
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    bundle = load_dataset(args.dataset, **_dataset_parameters(args))
+    result = QueryExecutor(bundle.database).evaluate(bundle.query)
+    print(render_sql(bundle.query))
+    print(f"\nresult size: {len(result)} tuples")
+    top = min(args.top, len(result))
+    print(f"top-{top}:")
+    for rank, row in enumerate(result.projected.rows[:top], start=1):
+        print(f"  {rank:3d}. {row}")
+    for group_text in args.group or []:
+        group = Group(_parse_group(group_text))
+        count = result.count_in_top_k(top, group.matches)
+        print(f"group {group.label()}: {count} of the top-{top}")
+    return 0
+
+
+def _command_refine(args: argparse.Namespace) -> int:
+    bundle = load_dataset(args.dataset, **_dataset_parameters(args))
+    constraints: list[CardinalityConstraint] = []
+    constraints.extend(parse_constraint(text, "lower") for text in args.at_least or [])
+    constraints.extend(parse_constraint(text, "upper") for text in args.at_most or [])
+    if not constraints:
+        print("error: provide at least one --at-least or --at-most constraint", file=sys.stderr)
+        return 2
+    solver = RefinementSolver(
+        bundle.database,
+        bundle.query,
+        ConstraintSet(constraints),
+        epsilon=args.epsilon,
+        distance=args.distance,
+        method=args.method,
+        backend=args.backend,
+        time_limit=args.time_limit,
+    )
+    result = solver.solve()
+    print(result.summary())
+    if not result.feasible:
+        print("No refinement within the requested maximum deviation exists.")
+        return 1
+    print("\nrefinement:", result.refinement.describe(bundle.query))
+    print("\nrefined query:")
+    print(result.sql)
+    print("\nconstraint counts in the refined ranking:")
+    for label, count in result.constraint_counts.items():
+        print(f"  {label}: {count}")
+    print("\nmodel statistics:", result.model_statistics)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query Refinement for Diverse Top-k Selection (SIGMOD 2024 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the bundled benchmark datasets")
+
+    inspect_parser = subparsers.add_parser("inspect", help="evaluate a dataset's query")
+    _add_dataset_arguments(inspect_parser)
+    inspect_parser.add_argument("--top", type=int, default=10, help="how many rows to display")
+    inspect_parser.add_argument(
+        "--group", action="append", help="report the top-k count of a group (Attr=Value)"
+    )
+
+    refine_parser = subparsers.add_parser("refine", help="solve a refinement problem")
+    _add_dataset_arguments(refine_parser)
+    refine_parser.add_argument(
+        "--at-least", action="append", metavar="BOUND@K:Attr=Value",
+        help="lower-bound cardinality constraint (repeatable)",
+    )
+    refine_parser.add_argument(
+        "--at-most", action="append", metavar="BOUND@K:Attr=Value",
+        help="upper-bound cardinality constraint (repeatable)",
+    )
+    refine_parser.add_argument("--epsilon", type=float, default=0.5, help="maximum deviation")
+    refine_parser.add_argument(
+        "--distance", default="pred", choices=["pred", "jaccard", "kendall"],
+        help="distance measure to minimise",
+    )
+    refine_parser.add_argument(
+        "--method", default="milp+opt", choices=["milp", "milp+opt"], help="algorithm variant"
+    )
+    refine_parser.add_argument(
+        "--backend", default="auto", help="MILP backend (auto, scipy, branch_and_bound)"
+    )
+    refine_parser.add_argument(
+        "--time-limit", type=float, default=None, help="solver time limit in seconds"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _command_datasets,
+        "inspect": _command_inspect,
+        "refine": _command_refine,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,470 @@
+"""Construction of the Best Approximation Refinement MILP (Figure 1).
+
+Given the annotated ``~Q(D)``, a constraint set, a maximum deviation and a
+distance measure, :class:`MILPBuilder` produces a :class:`repro.milp.Model`
+whose optimal solutions correspond exactly to minimal refinements (Theorem
+3.7):
+
+* expressions (1)/(2) tie the refined numerical constants ``C_{A,⋄}`` to the
+  per-value indicator variables ``A_{v,⋄}``;
+* expression (3) defines the selection variable ``r_t`` of every tuple from
+  its lineage and its higher-ranked DISTINCT duplicates ``S(t)``;
+* expression (4) forces at least ``k*`` tuples into the output;
+* expression (5) defines the rank ``s_t`` of each (relevant) tuple;
+* expression (6) ties the top-k membership indicators ``l_{t,k}`` to ``s_t``;
+* expressions (7)/(8) bound the deviation from the constraint set by ``ε``;
+* the distance measure contributes the objective.
+
+Implementation notes (documented deviations from the paper's presentation,
+see DESIGN.md):
+
+* Expression (5) literally sums ``r_{t'}`` over *all* higher-ranked tuples,
+  which makes the constraint matrix quadratic in the data size.  The builder
+  introduces prefix-sum variables (``P_i = P_{i-1} + r_i``) and writes
+  ``s_t = 1 + |~Q|(1 - r_t) + P_{i-1}``, an equivalent reformulation with a
+  linear number of non-zeros.  Solutions are unchanged.
+* Following the paper's implementation section, rank and top-k variables are
+  generated only for tuples that some constraint group or the distance
+  measure actually references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.constraints import BoundType, CardinalityConstraint, ConstraintSet
+from repro.core.context import MILPBuildContext
+from repro.core.distances import DistanceMeasure
+from repro.core.optimizations import BuilderOptions, classify_bound_types
+from repro.core.refinement import Refinement
+from repro.exceptions import RefinementError
+from repro.milp.expression import LinearExpression, Variable, linear_sum
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+from repro.provenance.lineage import (
+    AnnotatedDatabase,
+    CategoricalAtom,
+    NumericalAtom,
+)
+from repro.relational.executor import RankedResult
+from repro.relational.predicates import Operator
+from repro.relational.query import SPJQuery
+
+#: Fractional margin used when turning strict rank comparisons into <=; ranks
+#: are integral so any value in (0, 1) is exact.
+_RANK_DELTA = 0.5
+
+
+@dataclass
+class BuildArtifacts:
+    """Everything the solver needs after the model is built."""
+
+    model: Model
+    context: MILPBuildContext
+    options: BuilderOptions
+    extract_refinement: Callable[[Solution], Refinement]
+    statistics: dict[str, int] = field(default_factory=dict)
+
+
+class MILPBuilder:
+    """Builds the Figure 1 MILP for one Best Approximation Refinement instance."""
+
+    def __init__(
+        self,
+        query: SPJQuery,
+        annotated: AnnotatedDatabase,
+        constraints: ConstraintSet,
+        epsilon: float,
+        distance: DistanceMeasure,
+        original_result: RankedResult,
+        options: BuilderOptions | None = None,
+    ) -> None:
+        if epsilon < 0:
+            raise RefinementError("the maximum deviation epsilon must be non-negative")
+        for predicate in query.numerical_predicates:
+            if predicate.operator is Operator.EQUAL:
+                raise RefinementError(
+                    "numerical equality predicates cannot be refined by the MILP "
+                    f"model (predicate on {predicate.attribute!r})"
+                )
+        self.query = query
+        self.annotated = annotated
+        self.constraints = constraints
+        self.epsilon = epsilon
+        self.distance = distance
+        self.original_result = original_result
+        self.options = options or BuilderOptions.all()
+
+        self._model = Model(f"refine[{query.name}]")
+        self._categorical_variables: dict[tuple[str, object], Variable] = {}
+        self._numerical_constant_variables: dict[tuple[str, Operator], Variable] = {}
+        self._numerical_indicator_variables: dict[tuple[str, Operator, float], Variable] = {}
+        self._selection_variables: dict[int, Variable] = {}
+        self._rank_variables: dict[int, Variable] = {}
+        self._topk_variables: dict[tuple[int, int], Variable] = {}
+
+    # -- public API ------------------------------------------------------------------
+
+    def build(self) -> BuildArtifacts:
+        """Construct the model and return it with its extraction helpers."""
+        merge_lineage = (
+            self.options.merge_lineage_variables and not self.query.distinct
+        )
+
+        self._build_predicate_variables()
+        self._build_selection_variables(merge_lineage)
+        self._build_minimum_output_size()
+
+        context = MILPBuildContext(
+            model=self._model,
+            query=self.query,
+            annotated=self.annotated,
+            constraints=self.constraints,
+            k_star=self.constraints.k_star,
+            original_result=self.original_result,
+            original_topk_positions=self._original_topk_positions(),
+            categorical_variables=self._categorical_variables,
+            numerical_constant_variables=self._numerical_constant_variables,
+            topk_variables=self._topk_variables,
+        )
+
+        distance_required = self.distance.required_topk_positions(context)
+        needed = self._needed_topk(distance_required)
+        self._build_rank_and_topk_variables(needed, set(distance_required))
+        self._build_deviation_constraints()
+
+        objective = self.distance.build_objective(context)
+        self._model.minimize(objective)
+
+        statistics = dict(self._model.summary())
+        statistics["annotated_tuples"] = len(self.annotated)
+        statistics["lineage_classes"] = self.annotated.num_lineage_classes
+        statistics["topk_variables"] = len(self._topk_variables)
+
+        return BuildArtifacts(
+            model=self._model,
+            context=context,
+            options=self.options,
+            extract_refinement=self._extract_refinement,
+            statistics=statistics,
+        )
+
+    # -- expressions (1) and (2): numerical predicate indicators ----------------------
+
+    def _build_predicate_variables(self) -> None:
+        for predicate in self.query.categorical_predicates:
+            domain = self.annotated.categorical_domains[predicate.attribute]
+            for value in domain:
+                variable = self._model.binary_var(f"cat[{predicate.attribute}={value}]")
+                self._categorical_variables[(predicate.attribute, value)] = variable
+
+        for predicate in self.query.numerical_predicates:
+            attribute, operator = predicate.attribute, predicate.operator
+            domain = self.annotated.numeric_domain(attribute)
+            if not domain:
+                raise RefinementError(
+                    f"numerical predicate attribute {attribute!r} has no values in the data"
+                )
+            big_m = self.annotated.big_m(attribute)
+            delta = self.annotated.smallest_gap(attribute)
+            strict = 1.0 if operator.is_strict else 0.0
+
+            constant = self._model.continuous_var(
+                f"const[{attribute},{operator.value}]",
+                lower=min(domain) - 1.0,
+                upper=max(domain) + 1.0,
+            )
+            self._numerical_constant_variables[(attribute, operator)] = constant
+
+            for value in domain:
+                indicator = self._model.binary_var(
+                    f"num[{attribute}{operator.value}{value:g}]"
+                )
+                self._numerical_indicator_variables[(attribute, operator, value)] = indicator
+                if operator.is_lower_bound:
+                    # Expression (1): indicator = 1 <=> value ⋄ C holds.
+                    self._model.add_constraint(
+                        constant + big_m * indicator >= value + (1.0 - strict) * delta
+                    )
+                    self._model.add_constraint(
+                        constant - big_m * (1 - indicator) <= value - strict * delta
+                    )
+                else:
+                    # Expression (2): mirror image for upper-bound predicates.
+                    self._model.add_constraint(
+                        constant - big_m * indicator <= value - (1.0 - strict) * delta
+                    )
+                    self._model.add_constraint(
+                        constant + big_m * (1 - indicator) >= value + strict * delta
+                    )
+
+    # -- expression (3): tuple selection -------------------------------------------------
+
+    def _lineage_variable(self, atom: CategoricalAtom | NumericalAtom) -> Variable:
+        if isinstance(atom, CategoricalAtom):
+            return self._categorical_variables[(atom.attribute, atom.value)]
+        return self._numerical_indicator_variables[(atom.attribute, atom.operator, atom.value)]
+
+    def _build_selection_variables(self, merge_lineage: bool) -> None:
+        num_predicates = self.query.num_predicates
+        if merge_lineage:
+            # One variable per lineage equivalence class (Section 4, "Selecting
+            # Lineages"); all tuples of the class share it.
+            for class_index, (lineage, positions) in enumerate(
+                self.annotated.lineage_classes.items()
+            ):
+                variable = self._model.binary_var(f"r_class[{class_index}]")
+                lineage_sum = linear_sum(self._lineage_variable(atom) for atom in lineage)
+                self._model.add_constraint(
+                    lineage_sum - num_predicates * variable >= 0,
+                    name=f"select_lb[class{class_index}]",
+                )
+                self._model.add_constraint(
+                    lineage_sum - num_predicates * variable <= num_predicates - 1,
+                    name=f"select_ub[class{class_index}]",
+                )
+                for position in positions:
+                    self._selection_variables[position] = variable
+            return
+
+        for annotated_tuple in self.annotated.tuples:
+            position = annotated_tuple.position
+            variable = self._model.binary_var(f"r[{position}]")
+            self._selection_variables[position] = variable
+
+        for annotated_tuple in self.annotated.tuples:
+            position = annotated_tuple.position
+            variable = self._selection_variables[position]
+            duplicates = self.annotated.duplicates_before(position)
+            lineage_sum = linear_sum(
+                self._lineage_variable(atom) for atom in annotated_tuple.lineage
+            )
+            duplicate_sum = linear_sum(
+                1 - self._selection_variables[duplicate] for duplicate in duplicates
+            )
+            bound = num_predicates + len(duplicates)
+            body = lineage_sum + duplicate_sum - bound * variable
+            self._model.add_constraint(body >= 0, name=f"select_lb[{position}]")
+            self._model.add_constraint(body <= bound - 1, name=f"select_ub[{position}]")
+
+    # -- expression (4): minimum output size --------------------------------------------
+
+    def _build_minimum_output_size(self) -> None:
+        total = linear_sum(
+            self._selection_variables[annotated_tuple.position]
+            for annotated_tuple in self.annotated.tuples
+        )
+        self._model.add_constraint(
+            total >= self.constraints.k_star, name="min_output_size"
+        )
+
+    # -- expressions (5) and (6): ranks and top-k membership ------------------------------
+
+    def _original_topk_positions(self) -> list[list[int]]:
+        """Positions in ``~Q(D)`` of the tuples representing the original top-``k*`` items."""
+        k_star = self.constraints.k_star
+        original_keys = self.original_result.top_k_keys(k_star)
+        positions_by_key: dict[tuple[object, ...], list[int]] = {}
+        select = list(self.query.select)
+        use_distinct_key = self.query.distinct and bool(select)
+        for annotated_tuple in self.annotated.tuples:
+            if use_distinct_key:
+                # Must mirror RankedResult.item_key for DISTINCT queries.
+                key = tuple(annotated_tuple.values[name] for name in select)
+            else:
+                key = tuple(annotated_tuple.values.values())
+            positions_by_key.setdefault(key, []).append(annotated_tuple.position)
+        mapped: list[list[int]] = []
+        for key in original_keys:
+            mapped.append(positions_by_key.get(tuple(key), []))
+        return mapped
+
+    def _needed_topk(
+        self, distance_required: dict[int, set[int]]
+    ) -> dict[int, set[int]]:
+        """Which ``(position, k)`` pairs need ``l_{t,k}`` variables."""
+        needed: dict[int, set[int]] = {}
+        for constraint in self.constraints:
+            for annotated_tuple in self.annotated.tuples:
+                if constraint.group.matches(annotated_tuple.values):
+                    needed.setdefault(annotated_tuple.position, set()).add(constraint.k)
+        for position, ks in distance_required.items():
+            needed.setdefault(position, set()).update(ks)
+        return needed
+
+    def _build_rank_and_topk_variables(
+        self, needed: dict[int, set[int]], objective_positions: set[int]
+    ) -> None:
+        if not needed:
+            return
+        tuples = self.annotated.tuples
+        size = len(tuples)
+        bound_types = classify_bound_types(self.annotated, self.constraints)
+        # Positions whose l variables appear in the objective must keep an
+        # exact rank definition even when the Section 4 relaxation is enabled:
+        # the relaxation argument only covers constraint deviation.
+        outcome_positions = set(objective_positions)
+
+        # Prefix sums of the selection variables, in rank order: P_i = sum of
+        # r over the first i+1 kept tuples.  These make expression (5) sparse.
+        prefix: dict[int, Variable] = {}
+        previous: Variable | None = None
+        for index, annotated_tuple in enumerate(tuples):
+            position = annotated_tuple.position
+            current = self._model.continuous_var(f"prefix[{position}]", lower=0.0, upper=size)
+            selection = self._selection_variables[position]
+            if previous is None:
+                self._model.add_constraint(current == selection.to_expression())
+            else:
+                self._model.add_constraint(current == previous + selection)
+            prefix[index] = current
+            previous = current
+
+        index_of_position = {
+            annotated_tuple.position: index for index, annotated_tuple in enumerate(tuples)
+        }
+
+        for position, ks in sorted(needed.items()):
+            index = index_of_position[position]
+            selection = self._selection_variables[position]
+            rank = self._model.continuous_var(
+                f"s[{position}]", lower=1.0, upper=2.0 * size + 1.0
+            )
+            self._rank_variables[position] = rank
+            predecessors = (
+                prefix[index - 1].to_expression() if index > 0 else LinearExpression()
+            )
+            rank_definition = 1.0 + size * (1 - selection) + predecessors
+
+            relax = (
+                self.options.relax_rank_expressions
+                and position not in outcome_positions
+                and bound_types.get(position)
+                in ({BoundType.LOWER}, {BoundType.UPPER})
+            )
+            if relax and bound_types[position] == {BoundType.LOWER}:
+                self._model.add_constraint(rank >= rank_definition, name=f"rank_lb[{position}]")
+            elif relax and bound_types[position] == {BoundType.UPPER}:
+                self._model.add_constraint(rank <= rank_definition, name=f"rank_ub[{position}]")
+            else:
+                self._model.add_constraint(rank == rank_definition, name=f"rank[{position}]")
+
+            for k in sorted(ks):
+                member = self._model.binary_var(f"l[{position},{k}]")
+                self._topk_variables[(position, k)] = member
+                coefficient = 2.0 * size + 1.0
+                # Expression (6): member = 1 <=> rank <= k.
+                self._model.add_constraint(
+                    rank + coefficient * member >= k + _RANK_DELTA
+                )
+                self._model.add_constraint(
+                    rank - coefficient * (1 - member) <= k
+                )
+
+    # -- expressions (7) and (8): deviation ------------------------------------------------
+
+    def _build_deviation_constraints(self) -> None:
+        shortfall_terms: list[LinearExpression] = []
+        for index, constraint in enumerate(self.constraints):
+            shortfall = self._model.continuous_var(
+                f"E[{index}:{constraint.label()}]", lower=0.0, upper=float(constraint.k)
+            )
+            members = [
+                self._topk_variables[(annotated_tuple.position, constraint.k)]
+                for annotated_tuple in self.annotated.tuples
+                if constraint.group.matches(annotated_tuple.values)
+            ]
+            count = linear_sum(members) if members else LinearExpression()
+            sign = constraint.bound_type.sign
+            # Expression (7): shortfall >= Sign(c) * (n - count).
+            self._model.add_constraint(
+                shortfall >= (constraint.bound - count) * float(sign),
+                name=f"shortfall[{index}]",
+            )
+            denominator = float(max(constraint.bound, 1))
+            shortfall_terms.append(shortfall * (1.0 / denominator))
+
+        # Expression (8): mean relative shortfall bounded by epsilon.
+        deviation = linear_sum(shortfall_terms) * (1.0 / len(self.constraints))
+        self._model.add_constraint(deviation <= self.epsilon, name="max_deviation")
+
+    # -- solution extraction -------------------------------------------------------------
+
+    def _extract_refinement(self, solution: Solution) -> Refinement:
+        categorical: dict[str, frozenset] = {}
+        for predicate in self.query.categorical_predicates:
+            domain = self.annotated.categorical_domains[predicate.attribute]
+            selected = frozenset(
+                value
+                for value in domain
+                if solution.value(self._categorical_variables[(predicate.attribute, value)])
+                > 0.5
+            )
+            if not selected:
+                # A refinement that selects no value of a categorical predicate
+                # would produce an empty output; expression (4) prevents this in
+                # feasible solutions, so reaching here indicates solver trouble.
+                raise RefinementError(
+                    f"solution selects no value for categorical predicate on "
+                    f"{predicate.attribute!r}"
+                )
+            categorical[predicate.attribute] = selected
+
+        numerical: dict[tuple[str, Operator], float] = {}
+        for predicate in self.query.numerical_predicates:
+            key = (predicate.attribute, predicate.operator)
+            raw = solution.value(self._numerical_constant_variables[key])
+            numerical[key] = self._snap_constant(predicate, raw, solution)
+
+        return Refinement(numerical=numerical, categorical=categorical)
+
+    def _snap_constant(self, predicate, raw: float, solution: Solution) -> float:
+        """Snap the continuous constant to the most conservative equivalent value.
+
+        Any constant between two adjacent domain values selects the same
+        tuples; snapping to the boundary of the selected value set makes the
+        refined query readable (``GPA >= 3.6`` rather than ``GPA >= 3.5873``)
+        without changing its output or its predicate distance beyond what the
+        solver already paid for.
+        """
+        attribute, operator = predicate.attribute, predicate.operator
+        selected_values = [
+            value
+            for value in self.annotated.numeric_domain(attribute)
+            if solution.value(
+                self._numerical_indicator_variables[(attribute, operator, value)]
+            )
+            > 0.5
+        ]
+        if not selected_values:
+            return raw
+        snapped = min(selected_values) if operator.is_lower_bound else max(selected_values)
+        # Never make the refinement look farther from the original query than
+        # the constant the solver actually chose (that would break the match
+        # between the reported distance and the MILP objective).
+        if abs(snapped - predicate.constant) <= abs(raw - predicate.constant) + 1e-9:
+            return snapped
+        return raw
+
+
+def build_model(
+    query: SPJQuery,
+    annotated: AnnotatedDatabase,
+    constraints: ConstraintSet,
+    epsilon: float,
+    distance: DistanceMeasure,
+    original_result: RankedResult,
+    options: BuilderOptions | None = None,
+) -> BuildArtifacts:
+    """Convenience wrapper around :class:`MILPBuilder`."""
+    builder = MILPBuilder(
+        query=query,
+        annotated=annotated,
+        constraints=constraints,
+        epsilon=epsilon,
+        distance=distance,
+        original_result=original_result,
+        options=options,
+    )
+    return builder.build()

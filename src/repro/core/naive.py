@@ -1,0 +1,207 @@
+"""Exhaustive-search baselines: ``Naive`` and ``Naive+prov`` (Section 5).
+
+``Naive`` enumerates candidate refinements and re-evaluates each refined query
+on the database.  ``Naive+prov`` enumerates the same space but evaluates each
+candidate on the annotated ``~Q(D)`` instead, avoiding the DBMS round-trip —
+the same provenance trick the MILP uses, applied to brute-force search.
+
+Both support a wall-clock timeout, mirroring the 1-hour timeout in the paper's
+experiments (the refinement space of the Astronauts query has ~2^114 members,
+so the baselines are *expected* to time out there).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintSet
+from repro.core.distances import DistanceMeasure, get_distance
+from repro.core.refinement import Refinement, RefinementSpace
+from repro.provenance.lineage import AnnotatedDatabase, annotate
+from repro.relational.database import Database
+from repro.relational.executor import QueryExecutor, RankedResult
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+
+@dataclass
+class NaiveResult:
+    """Outcome of an exhaustive search."""
+
+    feasible: bool
+    method: str
+    distance_code: str
+    refinement: Refinement | None = None
+    refined_query: SPJQuery | None = None
+    distance_value: float | None = None
+    deviation: float | None = None
+    candidates_examined: int = 0
+    exhausted: bool = False
+    timed_out: bool = False
+    setup_seconds: float = 0.0
+    search_seconds: float = 0.0
+    total_seconds: float = 0.0
+    space_size: int = 0
+
+
+class _BaseExhaustiveSearch:
+    """Shared plumbing of the two exhaustive baselines."""
+
+    method = "naive"
+
+    def __init__(
+        self,
+        database: Database,
+        query: SPJQuery,
+        constraints: ConstraintSet,
+        epsilon: float = 0.5,
+        distance: DistanceMeasure | str = "pred",
+        timeout: float | None = None,
+        max_candidates: int | None = None,
+    ) -> None:
+        self.database = database
+        self.query = query
+        self.constraints = constraints
+        self.epsilon = float(epsilon)
+        self.distance = get_distance(distance)
+        self.timeout = timeout
+        self.max_candidates = max_candidates
+        self._executor = QueryExecutor(database)
+
+    def search(self) -> NaiveResult:
+        """Enumerate the refinement space and return the closest acceptable refinement."""
+        setup_started = time.perf_counter()
+        original_result = self._executor.evaluate(self.query)
+        annotated = annotate(self.query, self.database)
+        space = RefinementSpace(self.query, annotated)
+        self._prepare(annotated)
+        setup_seconds = time.perf_counter() - setup_started
+
+        best: tuple[float, Refinement, SPJQuery, RankedResult, float] | None = None
+        examined = 0
+        exhausted = True
+        timed_out = False
+        search_started = time.perf_counter()
+        for refinement in space.enumerate():
+            if self.timeout is not None and time.perf_counter() - search_started > self.timeout:
+                exhausted = False
+                timed_out = True
+                break
+            if self.max_candidates is not None and examined >= self.max_candidates:
+                exhausted = False
+                break
+            examined += 1
+            refined_query = refinement.apply(self.query)
+            refined_result = self._evaluate(refinement, refined_query)
+            if len(refined_result) < self.constraints.k_star:
+                continue
+            deviation = self.constraints.deviation(refined_result)
+            if deviation > self.epsilon + 1e-9:
+                continue
+            distance_value = self.distance.evaluate(
+                self.query,
+                refined_query,
+                original_result,
+                refined_result,
+                self.constraints.k_star,
+            )
+            if best is None or distance_value < best[0] - 1e-12:
+                best = (distance_value, refinement, refined_query, refined_result, deviation)
+        search_seconds = time.perf_counter() - search_started
+
+        result = NaiveResult(
+            feasible=best is not None,
+            method=self.method,
+            distance_code=self.distance.code,
+            candidates_examined=examined,
+            exhausted=exhausted,
+            timed_out=timed_out,
+            setup_seconds=setup_seconds,
+            search_seconds=search_seconds,
+            total_seconds=setup_seconds + search_seconds,
+            space_size=space.size(),
+        )
+        if best is not None:
+            distance_value, refinement, refined_query, refined_result, deviation = best
+            result.refinement = refinement
+            result.refined_query = refined_query
+            result.distance_value = distance_value
+            result.deviation = deviation
+        return result
+
+    # -- hooks ------------------------------------------------------------------------
+
+    def _prepare(self, annotated: AnnotatedDatabase) -> None:
+        """Hook for subclasses that need the annotations."""
+
+    def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
+        raise NotImplementedError
+
+
+class NaiveSearch(_BaseExhaustiveSearch):
+    """The paper's ``Naive``: every candidate is re-evaluated on the DBMS."""
+
+    method = "naive"
+
+    def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
+        return self._executor.evaluate(refined_query)
+
+
+class NaiveProvenanceSearch(_BaseExhaustiveSearch):
+    """The paper's ``Naive+prov``: candidates are evaluated on the annotations."""
+
+    method = "naive+prov"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._annotated: AnnotatedDatabase | None = None
+        self._schema = None
+
+    def _prepare(self, annotated: AnnotatedDatabase) -> None:
+        self._annotated = annotated
+        # The joined schema is needed to materialise candidate outputs; compute
+        # it once here rather than per candidate.
+        self._schema = self._executor.evaluate_unfiltered(self.query).relation.schema
+
+    def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
+        """Evaluate a refinement directly on ``~Q(D)`` without touching the database.
+
+        A tuple is selected when every predicate of the refined query accepts
+        its value; DISTINCT de-duplication keeps the better-ranked tuple.  The
+        tuples of ``~Q(D)`` are already in rank order, so the selected tuples
+        are too.
+        """
+        assert self._annotated is not None
+        numerical = list(refined_query.numerical_predicates)
+        categorical = list(refined_query.categorical_predicates)
+
+        selected_rows = []
+        seen_distinct: set[tuple[object, ...]] = set()
+        for annotated_tuple in self._annotated.tuples:
+            values = annotated_tuple.values
+            if not all(predicate.matches(values) for predicate in numerical):
+                continue
+            if not all(predicate.matches(values) for predicate in categorical):
+                continue
+            if annotated_tuple.distinct_key is not None:
+                if annotated_tuple.distinct_key in seen_distinct:
+                    continue
+                seen_distinct.add(annotated_tuple.distinct_key)
+            selected_rows.append(values)
+
+        schema = self._schema
+        relation = Relation(
+            refined_query.name,
+            schema,
+            [tuple(values[name] for name in schema.names) for values in selected_rows],
+        )
+        projected = (
+            relation.project(list(refined_query.select))
+            if refined_query.select
+            else relation
+        )
+        return RankedResult(query=refined_query, relation=relation, projected=projected)
+
+
+__all__ = ["NaiveProvenanceSearch", "NaiveResult", "NaiveSearch"]

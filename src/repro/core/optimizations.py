@@ -1,0 +1,126 @@
+"""The three Section 4 optimizations.
+
+1. **Relevancy-based pruning** (:func:`apply_relevancy_pruning`): drop tuples
+   that can never appear in the top-``k*`` of any refinement — those past
+   position ``k*`` within their lineage equivalence class.
+2. **Lineage-class variable merging**: tuples sharing a lineage always share
+   the value of their selection variable, so one binary per class suffices.
+   (Not applicable to DISTINCT queries; implemented inside the MILP builder,
+   which consumes :class:`BuilderOptions`.)
+3. **Rank-expression relaxation** for tuples whose groups carry only
+   lower-bound or only upper-bound constraints (also implemented in the
+   builder).
+
+Options are bundled in :class:`BuilderOptions` so the solver facade can switch
+between the paper's ``MILP`` (no optimizations) and ``MILP+opt`` (all
+applicable optimizations) configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.constraints import BoundType, ConstraintSet
+from repro.provenance.lineage import AnnotatedDatabase, AnnotatedTuple
+
+
+@dataclass(frozen=True)
+class BuilderOptions:
+    """Which optimizations the MILP builder should apply.
+
+    Attributes
+    ----------
+    relevancy_pruning:
+        Apply the relevancy-based pruning before building the program.
+    merge_lineage_variables:
+        Use one selection variable per lineage class instead of one per tuple
+        (silently skipped for DISTINCT queries, which need per-tuple variables).
+    relax_rank_expressions:
+        Replace the rank-definition equality with an inequality for tuples
+        whose groups have only lower-bound (or only upper-bound) constraints.
+    """
+
+    relevancy_pruning: bool = True
+    merge_lineage_variables: bool = True
+    relax_rank_expressions: bool = True
+
+    @classmethod
+    def none(cls) -> "BuilderOptions":
+        """The paper's unoptimized ``MILP`` configuration."""
+        return cls(
+            relevancy_pruning=False,
+            merge_lineage_variables=False,
+            relax_rank_expressions=False,
+        )
+
+    @classmethod
+    def all(cls) -> "BuilderOptions":
+        """The paper's ``MILP+opt`` configuration."""
+        return cls()
+
+
+def apply_relevancy_pruning(
+    annotated: AnnotatedDatabase,
+    k_star: int,
+    keep_positions: Iterable[int] = (),
+) -> AnnotatedDatabase:
+    """Return a pruned copy of ``annotated`` keeping only potentially relevant tuples.
+
+    A tuple past position ``k*`` within its lineage equivalence class can never
+    be ranked within the global top-``k*`` of any refinement, because every
+    refinement that selects it also selects all better-ranked tuples of the
+    same class (Section 4 of the paper).
+
+    Two safeguards keep the pruning sound in the presence of DISTINCT queries
+    and outcome-based distances:
+
+    * positions listed in ``keep_positions`` (e.g. the tuples representing the
+      original top-``k*`` items, which outcome-based objectives reference) are
+      always kept, and
+    * the duplicate sets ``S(t)`` of kept tuples are kept as well (transitively),
+      so the DISTINCT de-duplication logic in the MILP stays exact.
+    """
+    keep: set[int] = set(keep_positions)
+    for positions in annotated.lineage_classes.values():
+        keep.update(positions[:k_star])
+
+    # Close the kept set under "higher-ranked duplicate of a kept tuple".
+    frontier = list(keep)
+    while frontier:
+        position = frontier.pop()
+        for duplicate in annotated.duplicates_before(position):
+            if duplicate not in keep:
+                keep.add(duplicate)
+                frontier.append(duplicate)
+
+    kept_tuples: list[AnnotatedTuple] = [
+        annotated_tuple
+        for annotated_tuple in annotated.tuples
+        if annotated_tuple.position in keep
+    ]
+    return AnnotatedDatabase(
+        annotated.query,
+        kept_tuples,
+        annotated.categorical_domains,
+        annotated.numerical_domains,
+    )
+
+
+def classify_bound_types(
+    annotated: AnnotatedDatabase, constraints: ConstraintSet
+) -> dict[int, set[BoundType]]:
+    """Map each tuple position to the bound types of the groups containing it.
+
+    The rank-expression relaxation applies to tuples whose set is exactly
+    ``{LOWER}`` or exactly ``{UPPER}``; tuples in groups of both kinds (or in
+    no constrained group) keep the exact rank definition.
+    """
+    classification: dict[int, set[BoundType]] = {
+        annotated_tuple.position: set() for annotated_tuple in annotated.tuples
+    }
+    for constraint in constraints:
+        for annotated_tuple in annotated.tuples:
+            if constraint.group.matches(annotated_tuple.values):
+                classification[annotated_tuple.position].add(constraint.bound_type)
+    return classification

@@ -1,0 +1,51 @@
+"""A bundle describing one Best Approximation Refinement instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintSet
+from repro.core.distances import DistanceMeasure, get_distance
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+
+
+@dataclass
+class RefinementProblem:
+    """Everything that defines one instance of the problem (Definition 2.7).
+
+    Attributes
+    ----------
+    database:
+        The database ``D``.
+    query:
+        The original query ``Q``.
+    constraints:
+        The cardinality constraint set ``C``.
+    epsilon:
+        The maximum acceptable deviation from ``C``.
+    distance:
+        The distance measure (name or instance); defaults to the predicate
+        distance, which is also the paper's default.
+    """
+
+    database: Database
+    query: SPJQuery
+    constraints: ConstraintSet
+    epsilon: float = 0.5
+    distance: DistanceMeasure | str = "pred"
+
+    def __post_init__(self) -> None:
+        self.distance = get_distance(self.distance)
+
+    @property
+    def k_star(self) -> int:
+        return self.constraints.k_star
+
+    def describe(self) -> str:
+        """One-line description used by the benchmark harness."""
+        constraint_labels = ", ".join(c.label() for c in self.constraints)
+        return (
+            f"{self.query.name} | eps={self.epsilon:g} | {self.distance.code} | "
+            f"C = {{{constraint_labels}}}"
+        )

@@ -1,0 +1,176 @@
+"""Human-readable reports over refinement results.
+
+The paper's examples repeatedly contrast the refinements chosen under
+different minimality notions (predicate distance vs. Jaccard vs. Kendall) for
+the same query and constraints.  This module packages that comparison — and a
+detailed single-result report — so applications, the CLI and notebooks do not
+have to re-implement the formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.constraints import ConstraintSet
+from repro.core.distances import get_distance
+from repro.core.solver import RefinementResult, RefinementSolver
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.sqlgen import render_sql
+
+
+@dataclass
+class ComparisonRow:
+    """One distance measure's outcome within a :class:`DistanceComparison`."""
+
+    distance_code: str
+    feasible: bool
+    distance_value: float | None
+    deviation: float | None
+    changes: str
+    total_seconds: float
+    top_k_overlap: int | None = None
+
+
+@dataclass
+class DistanceComparison:
+    """Results of solving the same instance under several distance measures."""
+
+    query: SPJQuery
+    constraints: ConstraintSet
+    epsilon: float
+    rows: list[ComparisonRow] = field(default_factory=list)
+    results: dict[str, RefinementResult] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Fixed-width table suitable for terminals and log files."""
+        header = (
+            f"{'distance':<10} {'status':<11} {'value':>8} {'deviation':>10} "
+            f"{'overlap':>8} {'time[s]':>8}  changes"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            status = "ok" if row.feasible else "infeasible"
+            value = "-" if row.distance_value is None else f"{row.distance_value:.3f}"
+            deviation = "-" if row.deviation is None else f"{row.deviation:.3f}"
+            overlap = "-" if row.top_k_overlap is None else str(row.top_k_overlap)
+            lines.append(
+                f"{row.distance_code:<10} {status:<11} {value:>8} {deviation:>10} "
+                f"{overlap:>8} {row.total_seconds:>8.2f}  {row.changes}"
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """The same table as GitHub-flavoured markdown."""
+        lines = [
+            "| distance | status | value | deviation | top-k overlap | time [s] | changes |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for row in self.rows:
+            status = "ok" if row.feasible else "infeasible"
+            value = "-" if row.distance_value is None else f"{row.distance_value:.3f}"
+            deviation = "-" if row.deviation is None else f"{row.deviation:.3f}"
+            overlap = "-" if row.top_k_overlap is None else str(row.top_k_overlap)
+            lines.append(
+                f"| {row.distance_code} | {status} | {value} | {deviation} | {overlap} "
+                f"| {row.total_seconds:.2f} | {row.changes} |"
+            )
+        return "\n".join(lines)
+
+    def best(self) -> ComparisonRow | None:
+        """The feasible row with the smallest distance value (ties: first)."""
+        feasible = [row for row in self.rows if row.feasible and row.distance_value is not None]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda row: row.distance_value)
+
+
+def compare_distances(
+    database: Database,
+    query: SPJQuery,
+    constraints: ConstraintSet,
+    epsilon: float = 0.5,
+    distances: Sequence[str] = ("pred", "jaccard", "kendall"),
+    method: str = "milp+opt",
+    backend: str = "auto",
+    time_limit: float | None = None,
+) -> DistanceComparison:
+    """Solve the same refinement instance under several distance measures.
+
+    Each measure is optimised independently (one solve per measure); the
+    returned comparison records, per measure, the refinement's own distance
+    value, its deviation, how many of the original top-``k*`` items survive,
+    and a human-readable description of the predicate changes.
+    """
+    from repro.relational.executor import QueryExecutor
+
+    comparison = DistanceComparison(query=query, constraints=constraints, epsilon=epsilon)
+    original = QueryExecutor(database).evaluate(query)
+    original_topk = set(original.top_k_keys(constraints.k_star))
+
+    for name in distances:
+        measure = get_distance(name)
+        result = RefinementSolver(
+            database,
+            query,
+            constraints,
+            epsilon=epsilon,
+            distance=measure,
+            method=method,
+            backend=backend,
+            time_limit=time_limit,
+        ).solve()
+        comparison.results[measure.code] = result
+        overlap = None
+        changes = "-"
+        if result.feasible:
+            refined_topk = set(result.refined_result.top_k_keys(constraints.k_star))
+            overlap = len(original_topk & refined_topk)
+            changes = result.refinement.describe(query)
+        comparison.rows.append(
+            ComparisonRow(
+                distance_code=measure.code,
+                feasible=result.feasible,
+                distance_value=result.distance_value,
+                deviation=result.deviation,
+                changes=changes,
+                total_seconds=result.total_seconds,
+                top_k_overlap=overlap,
+            )
+        )
+    return comparison
+
+
+def refinement_report(result: RefinementResult, query: SPJQuery, top: int = 10) -> str:
+    """A detailed multi-line report for a single refinement result."""
+    lines = [f"method: {result.method}   distance: {result.distance_code}"]
+    if not result.feasible:
+        lines.append("outcome: no refinement within the maximum deviation exists")
+        return "\n".join(lines)
+    lines.append(f"outcome: refinement found ({result.refinement.describe(query)})")
+    lines.append(
+        f"distance: {result.distance_value:.4g}   deviation: {result.deviation:.4g}"
+    )
+    lines.append(
+        f"timings: setup {result.setup_seconds:.3f}s, solve {result.solve_seconds:.3f}s"
+    )
+    lines.append("original query:")
+    lines.extend("  " + line for line in render_sql(query).splitlines())
+    lines.append("refined query:")
+    lines.extend("  " + line for line in (result.sql or "").splitlines())
+    lines.append(f"top-{top} of the refined ranking:")
+    for rank, row in enumerate(result.refined_result.projected.rows[:top], start=1):
+        lines.append(f"  {rank:3d}. {row}")
+    lines.append("constraint counts:")
+    for label, count in result.constraint_counts.items():
+        lines.append(f"  {label}: {count}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ComparisonRow",
+    "DistanceComparison",
+    "compare_distances",
+    "refinement_report",
+]

@@ -1,0 +1,252 @@
+"""The :class:`RefinementSolver` facade: the paper's MILP and MILP+opt algorithms.
+
+The solver glues the pieces together:
+
+1. *setup* — evaluate the original query, annotate ``~Q(D)``, optionally apply
+   the relevancy pruning, and construct the MILP (this is the "Setup" time
+   reported in the paper's figures);
+2. *solve* — hand the program to a MILP backend;
+3. *extract* — turn the optimal assignment into a refinement, re-evaluate the
+   refined query on the database, and report its true distance and deviation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintSet
+from repro.core.distances import DistanceMeasure, PredicateDistance, get_distance
+from repro.core.milp_builder import BuildArtifacts, MILPBuilder
+from repro.core.optimizations import BuilderOptions, apply_relevancy_pruning
+from repro.core.refinement import Refinement
+from repro.exceptions import NoRefinementError, RefinementError
+from repro.milp.solution import Solution
+from repro.provenance.lineage import AnnotatedDatabase, annotate
+from repro.relational.database import Database
+from repro.relational.executor import QueryExecutor, RankedResult
+from repro.relational.query import SPJQuery
+from repro.relational.sqlgen import render_sql
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of one refinement search.
+
+    ``feasible`` is ``False`` when no refinement within the requested maximum
+    deviation exists (the "special value" of Definition 2.7); all other fields
+    are then ``None`` or empty.
+    """
+
+    feasible: bool
+    method: str
+    distance_code: str
+    refinement: Refinement | None = None
+    refined_query: SPJQuery | None = None
+    objective_value: float | None = None
+    distance_value: float | None = None
+    deviation: float | None = None
+    constraint_counts: dict[str, int] = field(default_factory=dict)
+    setup_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    model_statistics: dict[str, int] = field(default_factory=dict)
+    refined_result: RankedResult | None = None
+
+    @property
+    def sql(self) -> str | None:
+        """The refined query rendered as SQL (``None`` when infeasible)."""
+        if self.refined_query is None:
+            return None
+        return render_sql(self.refined_query)
+
+    def summary(self) -> str:
+        """A short human-readable report (used by the examples)."""
+        if not self.feasible:
+            return (
+                f"[{self.method}/{self.distance_code}] no refinement within the "
+                "maximum deviation exists"
+            )
+        return (
+            f"[{self.method}/{self.distance_code}] distance={self.distance_value:.4g} "
+            f"deviation={self.deviation:.4g} "
+            f"setup={self.setup_seconds:.3f}s solve={self.solve_seconds:.3f}s"
+        )
+
+
+class RefinementSolver:
+    """MILP-based solver for Best Approximation Refinement.
+
+    Parameters
+    ----------
+    database, query, constraints, epsilon, distance:
+        The problem instance (see Definition 2.7).
+    method:
+        ``"milp+opt"`` (default) applies the Section 4 optimizations;
+        ``"milp"`` is the unoptimized formulation.
+    backend:
+        MILP backend name passed to :func:`repro.milp.get_solver`.
+    time_limit:
+        Optional wall-clock limit (seconds) for the MILP backend.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        query: SPJQuery,
+        constraints: ConstraintSet,
+        epsilon: float = 0.5,
+        distance: DistanceMeasure | str = "pred",
+        method: str = "milp+opt",
+        backend: str = "auto",
+        time_limit: float | None = None,
+    ) -> None:
+        method = method.lower()
+        if method not in ("milp", "milp+opt"):
+            raise RefinementError(f"unknown method {method!r}; use 'milp' or 'milp+opt'")
+        self.database = database
+        self.query = query
+        self.constraints = constraints
+        self.epsilon = float(epsilon)
+        self.distance = get_distance(distance)
+        self.method = method
+        self.backend = backend
+        self.time_limit = time_limit
+        self.options = (
+            BuilderOptions.all() if method == "milp+opt" else BuilderOptions.none()
+        )
+        self._executor = QueryExecutor(database)
+
+    # -- pipeline -------------------------------------------------------------------
+
+    def solve(self, raise_on_infeasible: bool = False) -> RefinementResult:
+        """Run setup + solve + extraction and return a :class:`RefinementResult`."""
+        setup_started = time.perf_counter()
+        original_result, artifacts = self._setup()
+        setup_seconds = time.perf_counter() - setup_started
+
+        solution = artifacts.model.solve(self.backend, time_limit=self.time_limit)
+        solve_seconds = solution.solve_seconds
+
+        result = self._extract(original_result, artifacts, solution)
+        result.setup_seconds = setup_seconds
+        result.solve_seconds = solve_seconds
+        result.total_seconds = setup_seconds + solve_seconds
+        if raise_on_infeasible and not result.feasible:
+            raise NoRefinementError(
+                f"no refinement of {self.query.name!r} deviates from the constraint "
+                f"set by at most {self.epsilon:g}"
+            )
+        return result
+
+    # -- internals -------------------------------------------------------------------
+
+    def _setup(self) -> tuple[RankedResult, BuildArtifacts]:
+        original_result = self._executor.evaluate(self.query)
+        annotated = annotate(self.query, self.database)
+        annotated = self._maybe_prune(annotated, original_result)
+        builder = MILPBuilder(
+            query=self.query,
+            annotated=annotated,
+            constraints=self.constraints,
+            epsilon=self.epsilon,
+            distance=self.distance,
+            original_result=original_result,
+            options=self.options,
+        )
+        return original_result, builder.build()
+
+    def _maybe_prune(
+        self, annotated: AnnotatedDatabase, original_result: RankedResult
+    ) -> AnnotatedDatabase:
+        if not self.options.relevancy_pruning:
+            return annotated
+        keep_positions: set[int] = set()
+        if self.distance.outcome_based:
+            # Outcome-based objectives reference the tuples that produced the
+            # original top-k* items; keep them even if pruning would drop them.
+            builder_probe = MILPBuilder(
+                query=self.query,
+                annotated=annotated,
+                constraints=self.constraints,
+                epsilon=self.epsilon,
+                distance=self.distance,
+                original_result=original_result,
+                options=self.options,
+            )
+            for positions in builder_probe._original_topk_positions():
+                keep_positions.update(positions)
+        return apply_relevancy_pruning(
+            annotated, self.constraints.k_star, keep_positions
+        )
+
+    def _extract(
+        self,
+        original_result: RankedResult,
+        artifacts: BuildArtifacts,
+        solution: Solution,
+    ) -> RefinementResult:
+        base = RefinementResult(
+            feasible=False,
+            method=self.method,
+            distance_code=self.distance.code,
+            model_statistics=artifacts.statistics,
+        )
+        if not solution.is_feasible:
+            return base
+
+        refinement = artifacts.extract_refinement(solution)
+        refined_query = refinement.apply(self.query)
+        refined_result = self._executor.evaluate(refined_query)
+        deviation = self.constraints.deviation(refined_result)
+        distance_value = self.distance.evaluate(
+            self.query,
+            refined_query,
+            original_result,
+            refined_result,
+            self.constraints.k_star,
+        )
+        base.feasible = True
+        base.refinement = refinement
+        base.refined_query = refined_query
+        base.objective_value = solution.objective_value
+        base.distance_value = distance_value
+        base.deviation = deviation
+        base.constraint_counts = self.constraints.counts(refined_result)
+        base.refined_result = refined_result
+        return base
+
+
+def solve_refinement(
+    database: Database,
+    query: SPJQuery,
+    constraints: ConstraintSet,
+    epsilon: float = 0.5,
+    distance: DistanceMeasure | str = "pred",
+    method: str = "milp+opt",
+    backend: str = "auto",
+    time_limit: float | None = None,
+) -> RefinementResult:
+    """One-call convenience wrapper around :class:`RefinementSolver`."""
+    solver = RefinementSolver(
+        database=database,
+        query=query,
+        constraints=constraints,
+        epsilon=epsilon,
+        distance=distance,
+        method=method,
+        backend=backend,
+        time_limit=time_limit,
+    )
+    return solver.solve()
+
+
+# The predicate distance is the paper's default measure; re-export it here so
+# ``from repro.core.solver import PredicateDistance`` works in user code that
+# follows the quickstart example.
+__all__ = [
+    "PredicateDistance",
+    "RefinementResult",
+    "RefinementSolver",
+    "solve_refinement",
+]

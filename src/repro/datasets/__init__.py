@@ -1,0 +1,45 @@
+"""Benchmark datasets.
+
+The paper evaluates on three real datasets (NASA Astronauts, LSAC Law
+Students, MEPS) plus TPC-H, and scales them up with SDV.  Because this
+reproduction runs offline, each dataset is replaced by a deterministic
+synthetic generator calibrated to the structural properties that drive the
+algorithm's behaviour: schema, number of rows, domain sizes of the predicate
+attributes (and hence number of lineage classes and size of the refinement
+space), group proportions, and the distribution of the ranking attribute.
+
+The running example of the paper (Tables 1 and 2) is reproduced exactly in
+:mod:`repro.datasets.students`.
+"""
+
+from repro.datasets.students import (
+    activities_table,
+    scholarship_query,
+    students_database,
+    students_table,
+)
+from repro.datasets.astronauts import astronauts_database, astronauts_query
+from repro.datasets.law_students import law_students_database, law_students_query
+from repro.datasets.meps import meps_database, meps_query
+from repro.datasets.tpch import tpch_database, tpch_q5
+from repro.datasets.synthesizer import TableSynthesizer, scale_database
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "TableSynthesizer",
+    "activities_table",
+    "astronauts_database",
+    "astronauts_query",
+    "law_students_database",
+    "law_students_query",
+    "load_dataset",
+    "meps_database",
+    "meps_query",
+    "scale_database",
+    "scholarship_query",
+    "students_database",
+    "students_table",
+    "tpch_database",
+    "tpch_q5",
+]

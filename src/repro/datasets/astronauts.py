@@ -1,0 +1,164 @@
+"""Synthetic stand-in for the NASA Astronauts dataset.
+
+The real dataset (Kaggle ``nasa/astronaut-yearbook``) has 357 astronauts and
+19 attributes; the paper's query ``Q_A`` filters on ``"Graduate Major" =
+'Physics'`` and ``1 <= "Space Walks" <= 3`` and ranks by ``"Space Flight
+(hrs)"``.  The properties that matter to the algorithm are:
+
+* 357 rows;
+* a categorical predicate attribute (``Graduate Major``) with a *large*
+  domain (114 distinct values) — this is what blows up the refinement space
+  and makes the exhaustive baselines time out;
+* a numerical predicate attribute (``Space Walks``) with a small integer
+  domain;
+* constraint attributes ``Gender`` (≈ 15% female, mirroring the real data)
+  and ``Status`` (Active / Management / Retired / Deceased);
+* many lineage classes, each holding only a handful of tuples (the paper
+  notes fewer than 10 per class), which limits the relevancy optimization.
+
+The generator reproduces those properties deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.predicates import CategoricalPredicate, Conjunction, NumericalPredicate
+from repro.relational.query import OrderBy, SPJQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, categorical, numerical
+
+_MAJOR_STEMS = [
+    "Physics", "Aerospace Engineering", "Mechanical Engineering", "Electrical Engineering",
+    "Chemistry", "Mathematics", "Astronomy", "Aeronautics", "Medicine", "Biology",
+    "Geology", "Oceanography", "Computer Science", "Physiology", "Astrophysics",
+    "Materials Science", "Chemical Engineering", "Civil Engineering", "Nuclear Engineering",
+]
+
+_STATUSES = ["Active", "Management", "Retired", "Deceased"]
+_STATUS_WEIGHTS = [0.22, 0.12, 0.52, 0.14]
+
+_MILITARY_RANKS = ["Colonel", "Captain", "Commander", "Lieutenant Colonel", "Civilian"]
+_UNDERGRADUATE_MAJORS = [
+    "Physics", "Aerospace Engineering", "Mechanical Engineering", "Mathematics",
+    "Chemistry", "Electrical Engineering", "Naval Sciences",
+]
+
+
+def _graduate_major_domain(count: int) -> list[str]:
+    """Build a domain of ``count`` distinct graduate majors.
+
+    The real dataset has 114 distinct values; we synthesise them from a small
+    set of stems plus specialisations so the names stay readable.
+    """
+    majors: list[str] = []
+    specialisations = ["", " (MS)", " (PhD)", " & Applied Science", " Technology", " Systems"]
+    for stem in _MAJOR_STEMS:
+        for suffix in specialisations:
+            majors.append(stem + suffix)
+            if len(majors) == count:
+                return majors
+    return majors[:count]
+
+
+def astronauts_database(
+    num_rows: int = 357,
+    num_majors: int = 114,
+    female_share: float = 0.15,
+    seed: int = 7,
+) -> Database:
+    """Generate the synthetic Astronauts database.
+
+    Parameters mirror the structural statistics of the real dataset; changing
+    ``num_rows`` is how the Figure 8 scaling experiment produces larger copies.
+    """
+    if num_rows <= 0:
+        raise DatasetError("num_rows must be positive")
+    if not 0.0 <= female_share <= 1.0:
+        raise DatasetError("female_share must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    majors = _graduate_major_domain(num_majors)
+    # Physics is over-represented among the majors (it is the query's target
+    # value) so the original query returns a reasonable number of tuples.
+    major_weights = np.ones(len(majors))
+    major_weights[0] = 12.0
+    major_weights /= major_weights.sum()
+
+    rows = []
+    for index in range(num_rows):
+        gender = "F" if rng.random() < female_share else "M"
+        status = _STATUSES[rng.choice(len(_STATUSES), p=_STATUS_WEIGHTS)]
+        graduate_major = majors[rng.choice(len(majors), p=major_weights)]
+        undergraduate_major = _UNDERGRADUATE_MAJORS[
+            rng.integers(0, len(_UNDERGRADUATE_MAJORS))
+        ]
+        military_rank = _MILITARY_RANKS[rng.integers(0, len(_MILITARY_RANKS))]
+        space_walks = int(rng.binomial(7, 0.25))
+        space_flights = int(rng.integers(0, 7))
+        # Flight hours: heavy-tailed, correlated with the number of flights.
+        space_flight_hours = float(
+            np.round(space_flights * rng.gamma(shape=2.0, scale=400.0), 1)
+        )
+        space_walk_hours = float(np.round(space_walks * rng.gamma(1.5, 4.0), 1))
+        year = int(rng.integers(1959, 2010))
+        group = int((year - 1959) // 4 + 1)
+        alma_mater = f"University {int(rng.integers(1, 60))}"
+        rows.append(
+            (
+                f"astro_{index}",
+                gender,
+                year,
+                group,
+                status,
+                alma_mater,
+                undergraduate_major,
+                graduate_major,
+                military_rank,
+                space_flights,
+                space_flight_hours,
+                space_walks,
+                space_walk_hours,
+            )
+        )
+
+    schema = Schema(
+        [
+            categorical("Name"),
+            categorical("Gender"),
+            numerical("Year"),
+            numerical("Group"),
+            categorical("Status"),
+            categorical("Alma Mater"),
+            categorical("Undergraduate Major"),
+            categorical("Graduate Major"),
+            categorical("Military Rank"),
+            numerical("Space Flights"),
+            numerical("Space Flight (hr)"),
+            numerical("Space Walks"),
+            numerical("Space Walks (hr)"),
+        ]
+    )
+    return Database([Relation("Astronauts", schema, rows)])
+
+
+def astronauts_query() -> SPJQuery:
+    """The paper's ``Q_A``.
+
+    ``SELECT * FROM Astronauts WHERE "Space Walks" <= 3 AND "Space Walks" >= 1
+    AND "Graduate Major" = 'Physics' ORDER BY "Space Flight (hr)" DESC``
+    """
+    where = Conjunction(
+        [
+            CategoricalPredicate("Graduate Major", {"Physics"}),
+            NumericalPredicate("Space Walks", "<=", 3),
+            NumericalPredicate("Space Walks", ">=", 1),
+        ]
+    )
+    return SPJQuery(
+        tables=["Astronauts"],
+        where=where,
+        order_by=OrderBy("Space Flight (hr)", descending=True),
+        name="Q_A",
+    )

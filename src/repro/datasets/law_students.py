@@ -1,0 +1,129 @@
+"""Synthetic stand-in for the LSAC Law Students dataset.
+
+The real dataset (Wightman's LSAC National Longitudinal Bar Passage Study,
+also used in the counterfactual-fairness literature) has 21,790 students and
+8 attributes.  The paper's query ``Q_L`` selects students from region ``'GL'``
+with ``3.5 <= GPA <= 4.0`` and ranks them by LSAT score; constraints are on
+``Sex`` (roughly balanced) and ``Race`` (White is the large majority, Black
+and Asian are minorities — the imbalance is what makes the constraints bind).
+
+Structural statistics reproduced by the generator:
+
+* 21,790 rows by default (configurable for the scaling experiment);
+* categorical predicate attribute ``Region`` with a moderate domain
+  (the real data distinguishes 9 regions), so the refinement space is much
+  smaller than Astronauts but larger than MEPS / TPC-H;
+* numerical predicate attribute ``GPA`` in [1.5, 4.2];
+* ranking attribute ``LSAT`` in [11, 48] (the LSAC scale of the study);
+* group shares: ≈ 44% female; ≈ 84% White, 6% Black, 4% Asian, 6% other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.predicates import CategoricalPredicate, Conjunction, NumericalPredicate
+from repro.relational.query import OrderBy, SPJQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, categorical, numerical
+
+_REGIONS = ["GL", "NE", "SC", "SE", "MW", "FW", "Mt", "MA", "NW"]
+_REGION_WEIGHTS = [0.18, 0.14, 0.12, 0.14, 0.11, 0.12, 0.05, 0.09, 0.05]
+
+_RACES = ["White", "Black", "Asian", "Hispanic", "Other"]
+_RACE_WEIGHTS = [0.84, 0.06, 0.04, 0.04, 0.02]
+
+
+def law_students_database(num_rows: int = 21_790, seed: int = 11) -> Database:
+    """Generate the synthetic Law Students database."""
+    if num_rows <= 0:
+        raise DatasetError("num_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    region = rng.choice(_REGIONS, size=num_rows, p=_REGION_WEIGHTS)
+    race = rng.choice(_RACES, size=num_rows, p=_RACE_WEIGHTS)
+    sex = np.where(rng.random(num_rows) < 0.44, "F", "M")
+    # Undergraduate GPA: clipped normal around 3.2, reported at one decimal as
+    # in the LSAC study (this keeps the number of lineage classes in the same
+    # range the paper reports for Law Students, roughly 240-290).
+    gpa = np.clip(np.round(rng.normal(3.22, 0.35, num_rows), 1), 1.5, 4.2)
+    # LSAT on the study's 11-48 scale, mildly correlated with GPA.
+    lsat = np.clip(
+        np.round(rng.normal(36.0, 5.5, num_rows) + (gpa - 3.2) * 2.0, 1), 11.0, 48.0
+    )
+    # First-year average, correlated with LSAT.
+    zfya = np.round(rng.normal(0.0, 0.9, num_rows) + (lsat - 36.0) * 0.04, 2)
+    part_time = np.where(rng.random(num_rows) < 0.1, "Yes", "No")
+    bar_passed = np.where(rng.random(num_rows) < 0.89, "Yes", "No")
+
+    rows = [
+        (
+            f"student_{i}",
+            str(region[i]),
+            str(sex[i]),
+            str(race[i]),
+            float(gpa[i]),
+            float(lsat[i]),
+            float(zfya[i]),
+            str(part_time[i]),
+            str(bar_passed[i]),
+        )
+        for i in range(num_rows)
+    ]
+    schema = Schema(
+        [
+            categorical("ID"),
+            categorical("Region"),
+            categorical("Sex"),
+            categorical("Race"),
+            numerical("GPA"),
+            numerical("LSAT"),
+            numerical("ZFYA"),
+            categorical("PartTime"),
+            categorical("BarPassed"),
+        ]
+    )
+    return Database([Relation("LawStudents", schema, rows)])
+
+
+def law_students_query() -> SPJQuery:
+    """The paper's ``Q_L``.
+
+    ``SELECT * FROM LawStudents WHERE Region = 'GL' AND GPA <= 4.0 AND
+    GPA >= 3.5 ORDER BY LSAT DESC``
+    """
+    where = Conjunction(
+        [
+            CategoricalPredicate("Region", {"GL"}),
+            NumericalPredicate("GPA", "<=", 4.0),
+            NumericalPredicate("GPA", ">=", 3.5),
+        ]
+    )
+    return SPJQuery(
+        tables=["LawStudents"],
+        where=where,
+        order_by=OrderBy("LSAT", descending=True),
+        name="Q_L",
+    )
+
+
+def law_students_erica_query() -> SPJQuery:
+    """The ``Q_L`` variant used in the Section 5.3 comparison with Erica.
+
+    Same query, but with the GPA lower bound relaxed to 3.0 and no upper
+    bound removed (the paper keeps ``Region = 'GL' AND GPA >= 3.0``).
+    """
+    where = Conjunction(
+        [
+            CategoricalPredicate("Region", {"GL"}),
+            NumericalPredicate("GPA", ">=", 3.0),
+        ]
+    )
+    return SPJQuery(
+        tables=["LawStudents"],
+        where=where,
+        order_by=OrderBy("LSAT", descending=True),
+        name="Q_L_erica",
+    )

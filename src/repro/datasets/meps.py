@@ -1,0 +1,115 @@
+"""Synthetic stand-in for the MEPS (Medical Expenditure Panel Survey) dataset.
+
+The real HC-192 file has 34,655 individuals and 1,941 attributes.  The paper's
+query ``Q_M`` filters on ``Age > 22 AND "Family Size" >= 4`` and ranks by a
+*utilization* score (office-based visits + ER visits + in-patient nights +
+home-health visits), following Yang et al.'s fairness-in-ranking work.
+
+Only a small slice of the schema is relevant to the query and constraints, so
+the generator produces that slice:
+
+* 34,655 rows by default (configurable for the scaling experiment);
+* numerical predicate attributes ``Age`` and ``Family Size`` — the query has
+  *no categorical predicate*, so the refinement space is small (this is why
+  the Naive+prov baseline is competitive on MEPS in Figure 3);
+* constraint attributes ``Sex`` (≈ 53% female) and ``Race`` (White majority,
+  Black and Asian minorities);
+* the ``Utilization`` ranking attribute is the sum of four utilization
+  components, each heavy-tailed with many zeros, as in the real survey.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.predicates import Conjunction, NumericalPredicate
+from repro.relational.query import OrderBy, SPJQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, categorical, numerical
+
+_RACES = ["White", "Black", "Asian", "Other"]
+_RACE_WEIGHTS = [0.66, 0.19, 0.06, 0.09]
+
+_REGIONS = ["Northeast", "Midwest", "South", "West"]
+_INSURANCE = ["Private", "Public", "Uninsured"]
+_INSURANCE_WEIGHTS = [0.55, 0.33, 0.12]
+
+
+def meps_database(num_rows: int = 34_655, seed: int = 13) -> Database:
+    """Generate the synthetic MEPS database."""
+    if num_rows <= 0:
+        raise DatasetError("num_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    sex = np.where(rng.random(num_rows) < 0.53, "F", "M")
+    race = rng.choice(_RACES, size=num_rows, p=_RACE_WEIGHTS)
+    region = rng.choice(_REGIONS, size=num_rows)
+    insurance = rng.choice(_INSURANCE, size=num_rows, p=_INSURANCE_WEIGHTS)
+    age = rng.integers(0, 86, size=num_rows)
+    family_size = 1 + rng.binomial(7, 0.3, size=num_rows)
+    # Utilization components: mostly zero, heavy tailed, increasing with age.
+    office_visits = rng.negative_binomial(1, 0.12, size=num_rows) * (
+        0.5 + age / 120.0
+    )
+    er_visits = rng.negative_binomial(1, 0.55, size=num_rows)
+    inpatient_nights = rng.negative_binomial(1, 0.7, size=num_rows) * 2
+    home_health = rng.negative_binomial(1, 0.9, size=num_rows) * 5
+    office_visits = np.floor(office_visits)
+    utilization = office_visits + er_visits + inpatient_nights + home_health
+
+    rows = [
+        (
+            f"person_{i}",
+            str(sex[i]),
+            str(race[i]),
+            str(region[i]),
+            str(insurance[i]),
+            int(age[i]),
+            int(family_size[i]),
+            float(office_visits[i]),
+            float(er_visits[i]),
+            float(inpatient_nights[i]),
+            float(home_health[i]),
+            float(utilization[i]),
+        )
+        for i in range(num_rows)
+    ]
+    schema = Schema(
+        [
+            categorical("ID"),
+            categorical("Sex"),
+            categorical("Race"),
+            categorical("Region"),
+            categorical("Insurance"),
+            numerical("Age"),
+            numerical("Family Size"),
+            numerical("OfficeVisits"),
+            numerical("ERVisits"),
+            numerical("InpatientNights"),
+            numerical("HomeHealthVisits"),
+            numerical("Utilization"),
+        ]
+    )
+    return Database([Relation("MEPS", schema, rows)])
+
+
+def meps_query() -> SPJQuery:
+    """The paper's ``Q_M``.
+
+    ``SELECT * FROM MEPS WHERE Age > 22 AND "Family Size" >= 4
+    ORDER BY Utilization DESC``
+    """
+    where = Conjunction(
+        [
+            NumericalPredicate("Age", ">", 22),
+            NumericalPredicate("Family Size", ">=", 4),
+        ]
+    )
+    return SPJQuery(
+        tables=["MEPS"],
+        where=where,
+        order_by=OrderBy("Utilization", descending=True),
+        name="Q_M",
+    )

@@ -1,0 +1,73 @@
+"""Name-based access to the benchmark datasets and their queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+
+from repro.datasets.astronauts import astronauts_database, astronauts_query
+from repro.datasets.law_students import law_students_database, law_students_query
+from repro.datasets.meps import meps_database, meps_query
+from repro.datasets.students import scholarship_query, students_database
+from repro.datasets.tpch import tpch_database, tpch_q5
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A database together with the paper's query over it."""
+
+    name: str
+    database: Database
+    query: SPJQuery
+
+
+def _build_students(**_kwargs) -> DatasetBundle:
+    return DatasetBundle("students", students_database(), scholarship_query())
+
+
+def _build_astronauts(num_rows: int = 357, seed: int = 7, **_kwargs) -> DatasetBundle:
+    return DatasetBundle(
+        "astronauts", astronauts_database(num_rows=num_rows, seed=seed), astronauts_query()
+    )
+
+
+def _build_law_students(num_rows: int = 21_790, seed: int = 11, **_kwargs) -> DatasetBundle:
+    return DatasetBundle(
+        "law_students",
+        law_students_database(num_rows=num_rows, seed=seed),
+        law_students_query(),
+    )
+
+
+def _build_meps(num_rows: int = 34_655, seed: int = 13, **_kwargs) -> DatasetBundle:
+    return DatasetBundle("meps", meps_database(num_rows=num_rows, seed=seed), meps_query())
+
+
+def _build_tpch(scale_factor: float = 1.0, seed: int = 17, **_kwargs) -> DatasetBundle:
+    return DatasetBundle(
+        "tpch", tpch_database(scale_factor=scale_factor, seed=seed), tpch_q5()
+    )
+
+
+DATASET_BUILDERS: dict[str, Callable[..., DatasetBundle]] = {
+    "students": _build_students,
+    "astronauts": _build_astronauts,
+    "law_students": _build_law_students,
+    "meps": _build_meps,
+    "tpch": _build_tpch,
+}
+
+
+def load_dataset(name: str, **parameters) -> DatasetBundle:
+    """Build the named dataset (and its paper query) with optional size overrides."""
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_BUILDERS)}"
+        ) from None
+    return builder(**parameters)

@@ -1,0 +1,100 @@
+"""The paper's running example: the scholarship scenario (Tables 1 and 2).
+
+The data reproduces the paper exactly: fourteen students with gender, family
+income level, GPA and SAT score (Table 1) and their extracurricular
+activities (Table 2).  The *scholarship query* selects students who
+participated in the robotics club with GPA >= 3.7 and ranks them by SAT score.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.predicates import CategoricalPredicate, Conjunction, NumericalPredicate
+from repro.relational.query import OrderBy, SPJQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.schema import categorical, numerical
+
+# Table 1 of the paper: ID, Gender, Income, GPA, SAT.
+_STUDENTS = [
+    ("t1", "M", "Medium", 3.7, 1590),
+    ("t2", "F", "Low", 3.8, 1580),
+    ("t3", "F", "Low", 3.6, 1570),
+    ("t4", "M", "High", 3.8, 1560),
+    ("t5", "F", "Medium", 3.6, 1550),
+    ("t6", "F", "Low", 3.7, 1550),
+    ("t7", "M", "Low", 3.7, 1540),
+    ("t8", "F", "High", 3.9, 1530),
+    ("t9", "F", "Medium", 3.8, 1530),
+    ("t10", "M", "High", 3.7, 1520),
+    ("t11", "F", "Low", 3.8, 1490),
+    ("t12", "M", "Medium", 4.0, 1480),
+    ("t13", "M", "High", 3.5, 1430),
+    ("t14", "F", "Low", 3.7, 1410),
+]
+
+# Table 2 of the paper: ID, Activity.  Activities: robotics (RB), Science
+# Olympiad (SO), Math Olympiad (MO), game development (GD), STEM tutoring (TU).
+_ACTIVITIES = [
+    ("t1", "SO"),
+    ("t2", "SO"),
+    ("t3", "GD"),
+    ("t4", "RB"),
+    ("t4", "TU"),
+    ("t5", "MO"),
+    ("t6", "SO"),
+    ("t7", "RB"),
+    ("t8", "RB"),
+    ("t8", "TU"),
+    ("t10", "RB"),
+    ("t11", "RB"),
+    ("t12", "RB"),
+    ("t14", "RB"),
+]
+
+
+def students_table() -> Relation:
+    """Table 1 (Students) as a :class:`Relation`."""
+    schema = Schema(
+        [
+            categorical("ID"),
+            categorical("Gender"),
+            categorical("Income"),
+            numerical("GPA"),
+            numerical("SAT"),
+        ]
+    )
+    return Relation("Students", schema, _STUDENTS)
+
+
+def activities_table() -> Relation:
+    """Table 2 (Activities) as a :class:`Relation`."""
+    schema = Schema([categorical("ID"), categorical("Activity")])
+    return Relation("Activities", schema, _ACTIVITIES)
+
+
+def students_database() -> Database:
+    """Both running-example tables bundled into a :class:`Database`."""
+    return Database([students_table(), activities_table()])
+
+
+def scholarship_query() -> SPJQuery:
+    """The scholarship query of Example 1.1.
+
+    ``SELECT DISTINCT ID, Gender, Income FROM Students NATURAL JOIN Activities
+    WHERE GPA >= 3.7 AND Activity = 'RB' ORDER BY SAT DESC``
+    """
+    where = Conjunction(
+        [
+            NumericalPredicate("GPA", ">=", 3.7),
+            CategoricalPredicate("Activity", {"RB"}),
+        ]
+    )
+    return SPJQuery(
+        tables=["Students", "Activities"],
+        where=where,
+        order_by=OrderBy("SAT", descending=True),
+        select=["ID", "Gender", "Income"],
+        distinct=True,
+        name="scholarship",
+    )

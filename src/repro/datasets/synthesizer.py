@@ -1,0 +1,128 @@
+"""A miniature "Synthetic Data Vault": fit a relation, sample scaled copies.
+
+The paper uses SDV to learn the distribution of each real dataset and then
+synthesise larger versions for the Figure 8 scaling experiment.  This module
+provides the same capability with a deliberately simple model:
+
+* categorical columns are sampled from their empirical distribution;
+* numerical columns are sampled from the empirical quantile function with a
+  small uniform perturbation between adjacent observed values (so new values
+  appear, creating new lineage classes, just as SDV does);
+* one designated "identifier" column can be regenerated to stay unique.
+
+That level of fidelity preserves the properties the experiment measures:
+domain sizes, group proportions and the growth in the number of lineage
+classes with the data size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import AttributeKind
+
+
+class TableSynthesizer:
+    """Fits one relation and samples arbitrarily many synthetic rows from it."""
+
+    def __init__(self, relation: Relation, identifier: str | None = None, seed: int = 0) -> None:
+        if len(relation) == 0:
+            raise DatasetError("cannot fit a synthesizer on an empty relation")
+        self.relation = relation
+        self.identifier = identifier
+        self._rng = np.random.default_rng(seed)
+        self._categorical_models: dict[str, tuple[list[object], np.ndarray]] = {}
+        self._numerical_models: dict[str, np.ndarray] = {}
+        self._integral: dict[str, bool] = {}
+        self._fit()
+
+    def _fit(self) -> None:
+        for attribute in self.relation.schema:
+            column = self.relation.column(attribute.name)
+            if attribute.kind is AttributeKind.CATEGORICAL:
+                values, counts = np.unique(np.array(column, dtype=object), return_counts=True)
+                probabilities = counts / counts.sum()
+                self._categorical_models[attribute.name] = (list(values), probabilities)
+            else:
+                observed = np.sort(np.array([float(v) for v in column if v is not None]))
+                self._numerical_models[attribute.name] = observed
+                self._integral[attribute.name] = bool(
+                    np.allclose(observed, np.round(observed))
+                )
+
+    def sample(self, num_rows: int, name: str | None = None) -> Relation:
+        """Sample ``num_rows`` synthetic rows with the fitted per-column models."""
+        if num_rows <= 0:
+            raise DatasetError("num_rows must be positive")
+        columns: dict[str, list[object]] = {}
+        for attribute in self.relation.schema:
+            if self.identifier is not None and attribute.name == self.identifier:
+                columns[attribute.name] = [f"synth_{i}" for i in range(num_rows)]
+                continue
+            if attribute.kind is AttributeKind.CATEGORICAL:
+                values, probabilities = self._categorical_models[attribute.name]
+                drawn = self._rng.choice(len(values), size=num_rows, p=probabilities)
+                columns[attribute.name] = [values[i] for i in drawn]
+            else:
+                observed = self._numerical_models[attribute.name]
+                # Inverse-CDF sampling with interpolation between observations.
+                quantiles = self._rng.random(num_rows)
+                sampled = np.interp(
+                    quantiles, np.linspace(0.0, 1.0, len(observed)), observed
+                )
+                if self._integral[attribute.name]:
+                    sampled = np.round(sampled)
+                else:
+                    sampled = np.round(sampled, 2)
+                columns[attribute.name] = [float(v) for v in sampled]
+
+        names = self.relation.schema.names
+        rows = [
+            tuple(columns[column][i] for column in names) for i in range(num_rows)
+        ]
+        return Relation(name or self.relation.name, self.relation.schema, rows)
+
+
+def scale_database(
+    database: Database,
+    factor: float,
+    identifiers: dict[str, str] | None = None,
+    only: Sequence[str] | None = None,
+    seed: int = 0,
+) -> Database:
+    """Scale every relation of ``database`` by ``factor`` using :class:`TableSynthesizer`.
+
+    Parameters
+    ----------
+    database:
+        The database whose relations are fitted.
+    factor:
+        Multiplicative growth factor for the number of rows (>= that is, 2.0
+        doubles the data size).
+    identifiers:
+        Optional mapping ``relation name -> identifier attribute`` whose values
+        are regenerated to stay unique.
+    only:
+        When given, only these relations are scaled; the others are copied
+        verbatim (used for TPC-H, where the dimension tables keep their size).
+    seed:
+        Seed for the synthesizer's random generator.
+    """
+    if factor <= 0:
+        raise DatasetError("factor must be positive")
+    identifiers = identifiers or {}
+    scaled = Database()
+    for relation in database:
+        if only is not None and relation.name not in only:
+            scaled.add(relation)
+            continue
+        synthesizer = TableSynthesizer(
+            relation, identifier=identifiers.get(relation.name), seed=seed
+        )
+        scaled.add(synthesizer.sample(int(round(len(relation) * factor)), relation.name))
+    return scaled

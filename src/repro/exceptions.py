@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across the ``repro`` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ModelError(ReproError):
+    """Raised when a MILP model is malformed (bad bounds, unknown variable, ...)."""
+
+
+class SolverError(ReproError):
+    """Raised when a MILP backend fails unexpectedly."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when a model is proven infeasible and the caller required a solution."""
+
+
+class SchemaError(ReproError):
+    """Raised on schema violations in the relational layer."""
+
+
+class QueryError(ReproError):
+    """Raised when a query references unknown attributes/relations or is malformed."""
+
+
+class RefinementError(ReproError):
+    """Raised when a refinement cannot be applied to a query."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a cardinality constraint is malformed."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset generator receives invalid parameters."""
+
+
+class NoRefinementError(ReproError):
+    """Raised when no refinement within the requested maximum deviation exists.
+
+    This corresponds to the "special value" the paper's Definition 2.7 returns
+    when the Best Approximation Refinement problem has no feasible answer.
+    """

@@ -1,0 +1,51 @@
+"""A small mixed-integer linear programming (MILP) toolkit.
+
+The paper models Best Approximation Refinement as a MILP and solves it with
+CPLEX through PuLP.  Neither is available offline, so this subpackage provides
+the substrate from scratch:
+
+* a modeling layer (:class:`Variable`, :class:`LinearExpression`,
+  :class:`LinearConstraint`, :class:`Model`) with a PuLP-like feel, and
+* two interchangeable exact backends — :mod:`repro.milp.solvers.scipy_backend`
+  (HiGHS via :func:`scipy.optimize.milp`) and
+  :mod:`repro.milp.solvers.branch_and_bound` (pure-Python best-first branch
+  and bound over LP relaxations).
+
+Typical usage::
+
+    from repro.milp import Model, Variable
+
+    model = Model("example")
+    x = model.binary_var("x")
+    y = model.continuous_var("y", lower=0.0, upper=10.0)
+    model.add_constraint(2 * x + y <= 8, name="cap")
+    model.minimize(-3 * x - y)
+    solution = model.solve()
+    assert solution.is_optimal
+"""
+
+from repro.milp.expression import (
+    LinearExpression,
+    Variable,
+    VariableKind,
+    linear_sum,
+)
+from repro.milp.constraint import ConstraintSense, LinearConstraint
+from repro.milp.model import Model, ObjectiveSense
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers import available_solvers, get_solver
+
+__all__ = [
+    "ConstraintSense",
+    "LinearConstraint",
+    "LinearExpression",
+    "Model",
+    "ObjectiveSense",
+    "Solution",
+    "SolveStatus",
+    "Variable",
+    "VariableKind",
+    "available_solvers",
+    "get_solver",
+    "linear_sum",
+]

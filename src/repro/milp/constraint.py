@@ -1,0 +1,82 @@
+"""Linear constraints for the MILP modeling layer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.exceptions import ModelError
+from repro.milp.expression import LinearExpression, Variable
+
+
+class ConstraintSense(enum.Enum):
+    """Relation between the constraint body and zero."""
+
+    LESS_EQUAL = "<="
+    GREATER_EQUAL = ">="
+    EQUAL = "=="
+
+
+class LinearConstraint:
+    """A constraint of the form ``expression (<=|>=|==) 0``.
+
+    Comparison operators on :class:`~repro.milp.expression.LinearExpression`
+    normalise both sides into a single expression compared against zero, which
+    simplifies the solver backends.
+    """
+
+    __slots__ = ("expression", "sense", "name")
+
+    def __init__(
+        self,
+        expression: LinearExpression,
+        sense: ConstraintSense,
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(expression, LinearExpression):
+            raise ModelError("constraint body must be a LinearExpression")
+        if expression.is_constant():
+            # Constant constraints are legal (e.g. produced by degenerate data)
+            # but flag impossible ones early to aid debugging.
+            value = expression.constant
+            feasible = {
+                ConstraintSense.LESS_EQUAL: value <= 1e-9,
+                ConstraintSense.GREATER_EQUAL: value >= -1e-9,
+                ConstraintSense.EQUAL: abs(value) <= 1e-9,
+            }[sense]
+            if not feasible:
+                raise ModelError(
+                    f"constraint {name or ''} is trivially infeasible: "
+                    f"{value} {sense.value} 0"
+                )
+        self.expression = expression
+        self.sense = sense
+        self.name = name
+
+    def named(self, name: str) -> "LinearConstraint":
+        """Return a copy of this constraint carrying ``name``."""
+        return LinearConstraint(self.expression, self.sense, name)
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side once the constant is moved across the relation."""
+        return -self.expression.constant
+
+    def coefficients(self) -> dict[Variable, float]:
+        """Per-variable coefficients of the left-hand side."""
+        return self.expression.terms
+
+    def is_satisfied(
+        self, assignment: Mapping[Variable, float], tolerance: float = 1e-6
+    ) -> bool:
+        """Check the constraint under a concrete assignment."""
+        value = self.expression.evaluate(assignment)
+        if self.sense is ConstraintSense.LESS_EQUAL:
+            return value <= tolerance
+        if self.sense is ConstraintSense.GREATER_EQUAL:
+            return value >= -tolerance
+        return abs(value) <= tolerance
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"LinearConstraint({self.expression!r} {self.sense.value} 0{label})"

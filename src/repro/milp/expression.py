@@ -1,0 +1,282 @@
+"""Decision variables and affine (linear) expressions for the MILP layer.
+
+A :class:`LinearExpression` is an affine form ``sum_i coeff_i * var_i +
+constant``.  Expressions support the usual arithmetic operators and the
+comparison operators ``<=``, ``>=`` and ``==`` which build
+:class:`~repro.milp.constraint.LinearConstraint` objects, so models read like
+the mathematical formulation in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Iterable, Mapping, Union
+
+from repro.exceptions import ModelError
+
+Number = Union[int, float]
+
+_INFINITY = math.inf
+
+
+class VariableKind(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are created through :class:`repro.milp.model.Model` factory
+    methods in normal use; constructing them directly is supported for tests.
+
+    Parameters
+    ----------
+    name:
+        Unique (within a model) human-readable identifier.
+    lower, upper:
+        Bounds; ``None`` means unbounded in that direction.  Binary variables
+        are always clamped to ``[0, 1]``.
+    kind:
+        One of :class:`VariableKind`.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = ("name", "lower", "upper", "kind", "_uid")
+
+    def __init__(
+        self,
+        name: str,
+        lower: Number | None = 0.0,
+        upper: Number | None = None,
+        kind: VariableKind = VariableKind.CONTINUOUS,
+    ) -> None:
+        if not name:
+            raise ModelError("variable name must be a non-empty string")
+        if kind is VariableKind.BINARY:
+            lower, upper = 0.0, 1.0
+        if lower is not None and upper is not None and lower > upper:
+            raise ModelError(
+                f"variable {name!r}: lower bound {lower} exceeds upper bound {upper}"
+            )
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.kind = kind
+        self._uid = next(Variable._ids)
+
+    # -- identity ----------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._uid
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        # ``==`` on variables builds a constraint (var == expr); identity is
+        # checked with ``is``.  This mirrors PuLP/CPLEX modeling APIs.
+        return self.to_expression() == other
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, kind={self.kind.value})"
+
+    # -- conversion / arithmetic -------------------------------------------
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the variable must take integer values."""
+        return self.kind in (VariableKind.INTEGER, VariableKind.BINARY)
+
+    def to_expression(self) -> "LinearExpression":
+        """Return this variable as a single-term :class:`LinearExpression`."""
+        return LinearExpression({self: 1.0}, 0.0)
+
+    def __add__(self, other):
+        return self.to_expression() + other
+
+    def __radd__(self, other):
+        return self.to_expression() + other
+
+    def __sub__(self, other):
+        return self.to_expression() - other
+
+    def __rsub__(self, other):
+        return (-self.to_expression()) + other
+
+    def __mul__(self, other):
+        return self.to_expression() * other
+
+    def __rmul__(self, other):
+        return self.to_expression() * other
+
+    def __neg__(self):
+        return self.to_expression() * -1.0
+
+    def __le__(self, other):
+        return self.to_expression() <= other
+
+    def __ge__(self, other):
+        return self.to_expression() >= other
+
+
+class LinearExpression:
+    """An affine form over :class:`Variable` objects.
+
+    Instances are immutable from the caller's perspective: every arithmetic
+    operation returns a new expression.
+    """
+
+    __slots__ = ("_terms", "_constant")
+
+    def __init__(
+        self,
+        terms: Mapping[Variable, Number] | None = None,
+        constant: Number = 0.0,
+    ) -> None:
+        cleaned: dict[Variable, float] = {}
+        if terms:
+            for var, coeff in terms.items():
+                if not isinstance(var, Variable):
+                    raise ModelError(f"expected Variable, got {type(var).__name__}")
+                coeff = float(coeff)
+                if coeff != 0.0:
+                    cleaned[var] = cleaned.get(var, 0.0) + coeff
+        self._terms = cleaned
+        self._constant = float(constant)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[Variable, float]:
+        """Mapping from variable to coefficient (zero coefficients removed)."""
+        return dict(self._terms)
+
+    @property
+    def constant(self) -> float:
+        """The additive constant of the affine form."""
+        return self._constant
+
+    @property
+    def variables(self) -> list[Variable]:
+        """The variables appearing with a non-zero coefficient."""
+        return list(self._terms)
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` in this expression (0.0 when absent)."""
+        return self._terms.get(var, 0.0)
+
+    def is_constant(self) -> bool:
+        """True when the expression contains no variables."""
+        return not self._terms
+
+    def evaluate(self, assignment: Mapping[Variable, Number]) -> float:
+        """Evaluate the expression under a variable assignment.
+
+        Missing variables are treated as 0, matching solver conventions for
+        variables that do not appear in the reported solution.
+        """
+        total = self._constant
+        for var, coeff in self._terms.items():
+            total += coeff * float(assignment.get(var, 0.0))
+        return total
+
+    # -- arithmetic ----------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> "LinearExpression":
+        if isinstance(value, LinearExpression):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expression()
+        if isinstance(value, (int, float)):
+            return LinearExpression({}, float(value))
+        raise ModelError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def __add__(self, other) -> "LinearExpression":
+        other = self._coerce(other)
+        terms = dict(self._terms)
+        for var, coeff in other._terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+        return LinearExpression(terms, self._constant + other._constant)
+
+    def __radd__(self, other) -> "LinearExpression":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinearExpression":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpression":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, factor) -> "LinearExpression":
+        if isinstance(factor, (LinearExpression, Variable)):
+            raise ModelError("products of variables are not linear")
+        factor = float(factor)
+        terms = {var: coeff * factor for var, coeff in self._terms.items()}
+        return LinearExpression(terms, self._constant * factor)
+
+    def __rmul__(self, factor) -> "LinearExpression":
+        return self.__mul__(factor)
+
+    def __truediv__(self, divisor) -> "LinearExpression":
+        if isinstance(divisor, (LinearExpression, Variable)):
+            raise ModelError("dividing by a variable is not linear")
+        return self.__mul__(1.0 / float(divisor))
+
+    def __neg__(self) -> "LinearExpression":
+        return self.__mul__(-1.0)
+
+    # -- comparisons build constraints ---------------------------------------
+
+    def __le__(self, other):
+        from repro.milp.constraint import ConstraintSense, LinearConstraint
+
+        return LinearConstraint(self - self._coerce(other), ConstraintSense.LESS_EQUAL)
+
+    def __ge__(self, other):
+        from repro.milp.constraint import ConstraintSense, LinearConstraint
+
+        return LinearConstraint(
+            self - self._coerce(other), ConstraintSense.GREATER_EQUAL
+        )
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.milp.constraint import ConstraintSense, LinearConstraint
+
+        return LinearConstraint(self - self._coerce(other), ConstraintSense.EQUAL)
+
+    def __hash__(self):  # pragma: no cover - expressions are not hashable keys
+        raise TypeError("LinearExpression objects are unhashable")
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in self._terms.items()]
+        if self._constant or not parts:
+            parts.append(f"{self._constant:+g}")
+        return "LinearExpression(" + " ".join(parts) + ")"
+
+
+def linear_sum(items: Iterable) -> LinearExpression:
+    """Sum an iterable of variables/expressions/numbers into one expression.
+
+    Python's built-in :func:`sum` works too but builds ``O(n)`` intermediate
+    expressions; this helper accumulates in a single dictionary which matters
+    for the tuple-level expressions built over large datasets.
+    """
+    terms: dict[Variable, float] = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Variable):
+            terms[item] = terms.get(item, 0.0) + 1.0
+        elif isinstance(item, LinearExpression):
+            for var, coeff in item._terms.items():
+                terms[var] = terms.get(var, 0.0) + coeff
+            constant += item._constant
+        elif isinstance(item, (int, float)):
+            constant += float(item)
+        else:
+            raise ModelError(f"cannot sum object of type {type(item).__name__}")
+    return LinearExpression(terms, constant)

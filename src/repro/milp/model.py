@@ -1,0 +1,291 @@
+"""The :class:`Model` container tying variables, constraints and an objective."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ModelError
+from repro.milp.constraint import ConstraintSense, LinearConstraint
+from repro.milp.expression import LinearExpression, Variable, VariableKind
+from repro.milp.solution import Solution
+
+
+class ObjectiveSense(enum.Enum):
+    """Direction of optimisation."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass(frozen=True)
+class StandardForm:
+    """Sparse standard matrix form of a model shared by the solver backends.
+
+    The problem is expressed as::
+
+        minimize    c @ x
+        subject to  A_ub @ x <= b_ub
+                    A_eq @ x == b_eq
+                    lower <= x <= upper
+                    x[i] integer for integrality[i] == 1
+
+    Constraint matrices are CSR sparse matrices because the refinement MILPs
+    are very sparse (each tuple-level expression touches a handful of
+    annotation variables) while the number of rows scales with the data size.
+    """
+
+    variables: Sequence[Variable]
+    c: np.ndarray
+    objective_constant: float
+    integrality: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    maximize: bool
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    The API mirrors common modeling layers (PuLP, docplex): create variables
+    through the ``*_var`` factories, add :class:`LinearConstraint` objects
+    produced by comparison operators, set an objective, then :meth:`solve`.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: list[Variable] = []
+        self._names: set[str] = set()
+        self._constraints: list[LinearConstraint] = []
+        self._objective: LinearExpression = LinearExpression()
+        self._sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+
+    # -- variables -----------------------------------------------------------
+
+    def add_variable(self, variable: Variable) -> Variable:
+        """Register an externally constructed variable with the model."""
+        if variable.name in self._names:
+            raise ModelError(f"duplicate variable name {variable.name!r}")
+        self._names.add(variable.name)
+        self._variables.append(variable)
+        return variable
+
+    def continuous_var(
+        self,
+        name: str,
+        lower: float | None = 0.0,
+        upper: float | None = None,
+    ) -> Variable:
+        """Create and register a continuous variable."""
+        return self.add_variable(
+            Variable(name, lower=lower, upper=upper, kind=VariableKind.CONTINUOUS)
+        )
+
+    def integer_var(
+        self,
+        name: str,
+        lower: float | None = 0.0,
+        upper: float | None = None,
+    ) -> Variable:
+        """Create and register a general integer variable."""
+        return self.add_variable(
+            Variable(name, lower=lower, upper=upper, kind=VariableKind.INTEGER)
+        )
+
+    def binary_var(self, name: str) -> Variable:
+        """Create and register a 0/1 variable."""
+        return self.add_variable(Variable(name, kind=VariableKind.BINARY))
+
+    @property
+    def variables(self) -> list[Variable]:
+        """All registered variables, in insertion order."""
+        return list(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_binary_variables(self) -> int:
+        return sum(1 for v in self._variables if v.kind is VariableKind.BINARY)
+
+    # -- constraints ----------------------------------------------------------
+
+    def add_constraint(
+        self, constraint: LinearConstraint, name: str | None = None
+    ) -> LinearConstraint:
+        """Add a constraint; returns the (possibly renamed) stored constraint."""
+        if not isinstance(constraint, LinearConstraint):
+            raise ModelError(
+                "add_constraint expects a LinearConstraint (did you use <=/>=/== "
+                "on expressions?)"
+            )
+        if name is not None:
+            constraint = constraint.named(name)
+        self._check_known_variables(constraint.expression)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[LinearConstraint]) -> None:
+        """Add several constraints at once."""
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    @property
+    def constraints(self) -> list[LinearConstraint]:
+        return list(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- objective ------------------------------------------------------------
+
+    def minimize(self, expression: LinearExpression | Variable) -> None:
+        """Set a minimisation objective."""
+        self.set_objective(expression, ObjectiveSense.MINIMIZE)
+
+    def maximize(self, expression: LinearExpression | Variable) -> None:
+        """Set a maximisation objective."""
+        self.set_objective(expression, ObjectiveSense.MAXIMIZE)
+
+    def set_objective(
+        self,
+        expression: LinearExpression | Variable,
+        sense: ObjectiveSense = ObjectiveSense.MINIMIZE,
+    ) -> None:
+        if isinstance(expression, Variable):
+            expression = expression.to_expression()
+        if not isinstance(expression, LinearExpression):
+            raise ModelError("objective must be a LinearExpression or Variable")
+        self._check_known_variables(expression)
+        self._objective = expression
+        self._sense = sense
+
+    @property
+    def objective(self) -> LinearExpression:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> ObjectiveSense:
+        return self._sense
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, solver: str = "auto", **options) -> Solution:
+        """Solve the model with the named backend (see :func:`get_solver`)."""
+        from repro.milp.solvers import get_solver
+
+        backend = get_solver(solver)
+        return backend.solve(self, **options)
+
+    def to_standard_form(self) -> StandardForm:
+        """Lower the model into the dense matrix form shared by backends."""
+        variables = self._variables
+        index = {var: i for i, var in enumerate(variables)}
+        n = len(variables)
+
+        c = np.zeros(n)
+        for var, coeff in self._objective.terms.items():
+            c[index[var]] = coeff
+        maximize = self._sense is ObjectiveSense.MAXIMIZE
+        if maximize:
+            c = -c
+
+        integrality = np.array(
+            [1 if var.is_integral else 0 for var in variables], dtype=np.int64
+        )
+        lower = np.array(
+            [-np.inf if var.lower is None else float(var.lower) for var in variables]
+        )
+        upper = np.array(
+            [np.inf if var.upper is None else float(var.upper) for var in variables]
+        )
+
+        ub_data: list[float] = []
+        ub_rows_idx: list[int] = []
+        ub_cols_idx: list[int] = []
+        ub_rhs: list[float] = []
+        eq_data: list[float] = []
+        eq_rows_idx: list[int] = []
+        eq_cols_idx: list[int] = []
+        eq_rhs: list[float] = []
+        for constraint in self._constraints:
+            rhs = constraint.rhs
+            coefficients = constraint.coefficients()
+            if constraint.sense is ConstraintSense.LESS_EQUAL:
+                row = len(ub_rhs)
+                for var, coeff in coefficients.items():
+                    ub_rows_idx.append(row)
+                    ub_cols_idx.append(index[var])
+                    ub_data.append(coeff)
+                ub_rhs.append(rhs)
+            elif constraint.sense is ConstraintSense.GREATER_EQUAL:
+                row = len(ub_rhs)
+                for var, coeff in coefficients.items():
+                    ub_rows_idx.append(row)
+                    ub_cols_idx.append(index[var])
+                    ub_data.append(-coeff)
+                ub_rhs.append(-rhs)
+            else:
+                row = len(eq_rhs)
+                for var, coeff in coefficients.items():
+                    eq_rows_idx.append(row)
+                    eq_cols_idx.append(index[var])
+                    eq_data.append(coeff)
+                eq_rhs.append(rhs)
+
+        a_ub = sparse.csr_matrix(
+            (ub_data, (ub_rows_idx, ub_cols_idx)), shape=(len(ub_rhs), n)
+        )
+        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
+        a_eq = sparse.csr_matrix(
+            (eq_data, (eq_rows_idx, eq_cols_idx)), shape=(len(eq_rhs), n)
+        )
+        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
+
+        return StandardForm(
+            variables=variables,
+            c=c,
+            objective_constant=self._objective.constant,
+            integrality=integrality,
+            lower=lower,
+            upper=upper,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            maximize=maximize,
+        )
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by the benchmark harness and tests."""
+        return {
+            "variables": self.num_variables,
+            "binary_variables": self.num_binary_variables,
+            "constraints": self.num_constraints,
+        }
+
+    def _check_known_variables(self, expression: LinearExpression) -> None:
+        for var in expression.variables:
+            if var.name not in self._names:
+                raise ModelError(
+                    f"expression references variable {var.name!r} that was not "
+                    "registered with this model"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, variables={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )

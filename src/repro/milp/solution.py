@@ -1,0 +1,82 @@
+"""Solution and status objects returned by the MILP backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.milp.expression import LinearExpression, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Solution:
+    """The result of solving a :class:`repro.milp.model.Model`.
+
+    Attributes
+    ----------
+    status:
+        Terminal :class:`SolveStatus` of the solve.
+    objective_value:
+        Objective value of the incumbent (``None`` when no incumbent exists).
+    values:
+        Mapping from :class:`Variable` to its value in the incumbent.
+    solver_name:
+        Which backend produced the solution.
+    solve_seconds:
+        Wall-clock time spent inside the backend.
+    nodes_explored:
+        Number of branch-and-bound nodes (0 for direct HiGHS solves).
+    """
+
+    status: SolveStatus
+    objective_value: float | None = None
+    values: Mapping[Variable, float] = field(default_factory=dict)
+    solver_name: str = ""
+    solve_seconds: float = 0.0
+    nodes_explored: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solver proved optimality."""
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when an incumbent assignment is available."""
+        return self.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.NODE_LIMIT,
+            SolveStatus.TIME_LIMIT,
+        ) and bool(self.values)
+
+    def value(self, item: Variable | LinearExpression, default: float = 0.0) -> float:
+        """Value of a variable or linear expression under this solution."""
+        if isinstance(item, Variable):
+            return float(self.values.get(item, default))
+        if isinstance(item, LinearExpression):
+            return item.evaluate(self.values)
+        raise TypeError(f"cannot evaluate object of type {type(item).__name__}")
+
+    def rounded(self, item: Variable, tolerance: float = 1e-6) -> int:
+        """Integer value of an integral variable, guarding against round-off."""
+        raw = self.value(item)
+        nearest = round(raw)
+        if abs(raw - nearest) > 1e-4:
+            # Keep the raw value visible in the error; this indicates either a
+            # non-integral variable or a solver tolerance issue.
+            raise ValueError(
+                f"variable {item.name!r} has non-integral value {raw!r}"
+            )
+        return int(nearest)

@@ -1,0 +1,60 @@
+"""Solver backends for the MILP modeling layer.
+
+Two exact backends are provided:
+
+``"scipy"``
+    Wraps :func:`scipy.optimize.milp` (the HiGHS branch-and-cut solver).  This
+    is the default when SciPy exposes ``milp``.
+
+``"branch_and_bound"``
+    A pure-Python best-first branch-and-bound over LP relaxations solved with
+    :func:`scipy.optimize.linprog`.  It is exact but slower; it exists as an
+    independent cross-check of the HiGHS results and as the fallback when a
+    SciPy build lacks ``milp``.
+
+``get_solver("auto")`` picks ``scipy`` when available, otherwise
+``branch_and_bound``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SolverError
+from repro.milp.solvers.base import SolverBackend
+from repro.milp.solvers.branch_and_bound import BranchAndBoundSolver
+from repro.milp.solvers.scipy_backend import ScipySolver, scipy_milp_available
+
+_REGISTRY: dict[str, type[SolverBackend]] = {
+    "scipy": ScipySolver,
+    "highs": ScipySolver,
+    "branch_and_bound": BranchAndBoundSolver,
+    "bnb": BranchAndBoundSolver,
+}
+
+
+def available_solvers() -> list[str]:
+    """Names of backends that can run in the current environment."""
+    names = ["branch_and_bound"]
+    if scipy_milp_available():
+        names.insert(0, "scipy")
+    return names
+
+
+def get_solver(name: str = "auto") -> SolverBackend:
+    """Instantiate a solver backend by name (``"auto"`` picks the best)."""
+    key = name.lower()
+    if key == "auto":
+        key = "scipy" if scipy_milp_available() else "branch_and_bound"
+    if key not in _REGISTRY:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {sorted(set(_REGISTRY))}"
+        )
+    return _REGISTRY[key]()
+
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "ScipySolver",
+    "SolverBackend",
+    "available_solvers",
+    "get_solver",
+]

@@ -1,0 +1,33 @@
+"""Abstract interface implemented by every MILP backend."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.milp.solution import Solution
+
+
+class SolverBackend(abc.ABC):
+    """Common interface of the MILP backends.
+
+    Backends are stateless; a new instance may be created per solve.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(self, model, time_limit: float | None = None, **options) -> Solution:
+        """Solve ``model`` and return a :class:`Solution`.
+
+        Parameters
+        ----------
+        model:
+            A :class:`repro.milp.model.Model`.
+        time_limit:
+            Optional wall-clock limit in seconds.
+        options:
+            Backend-specific keyword options.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"

@@ -1,0 +1,190 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+The solver performs a best-first search over LP relaxations solved with
+:func:`scipy.optimize.linprog` (HiGHS LP).  It is exact: it terminates with
+``OPTIMAL`` once the best node bound matches the incumbent, and with
+``INFEASIBLE`` when no integral assignment satisfies the constraints.  It is
+intentionally simple — no cutting planes, no presolve beyond what HiGHS does
+for each relaxation — because its role in this repository is to cross-check
+the primary SciPy/HiGHS MILP backend and to keep the library functional when
+``scipy.optimize.milp`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.base import SolverBackend
+
+_INTEGRALITY_TOLERANCE = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A subproblem in the branch-and-bound tree, ordered by its LP bound."""
+
+    bound: float
+    tie_breaker: int = field(compare=True)
+    lower: np.ndarray = field(compare=False, default=None)
+    upper: np.ndarray = field(compare=False, default=None)
+
+
+class BranchAndBoundSolver(SolverBackend):
+    """Best-first branch and bound over LP relaxations."""
+
+    name = "branch_and_bound"
+
+    def solve(
+        self,
+        model,
+        time_limit: float | None = None,
+        node_limit: int = 200_000,
+        absolute_gap: float = 1e-6,
+        **_options,
+    ) -> Solution:
+        form = model.to_standard_form()
+        n = len(form.variables)
+        started = time.perf_counter()
+        if n == 0:
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                objective_value=form.objective_constant,
+                values={},
+                solver_name=self.name,
+            )
+
+        integral_indices = np.flatnonzero(form.integrality == 1)
+        counter = itertools.count()
+
+        root_relaxation = self._solve_relaxation(form, form.lower, form.upper)
+        if root_relaxation is None:
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                solver_name=self.name,
+                solve_seconds=time.perf_counter() - started,
+            )
+        root_bound, _ = root_relaxation
+
+        heap: list[_Node] = [
+            _Node(root_bound, next(counter), form.lower.copy(), form.upper.copy())
+        ]
+        incumbent_value = np.inf
+        incumbent_x: np.ndarray | None = None
+        nodes_explored = 0
+        status = SolveStatus.OPTIMAL
+
+        while heap:
+            if time_limit is not None and time.perf_counter() - started > time_limit:
+                status = SolveStatus.TIME_LIMIT
+                break
+            if nodes_explored >= node_limit:
+                status = SolveStatus.NODE_LIMIT
+                break
+
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_value - absolute_gap:
+                # Bound cannot improve on the incumbent; search is complete
+                # because the heap is ordered by bound.
+                break
+
+            relaxation = self._solve_relaxation(form, node.lower, node.upper)
+            nodes_explored += 1
+            if relaxation is None:
+                continue
+            bound, x = relaxation
+            if bound >= incumbent_value - absolute_gap:
+                continue
+
+            branch_index = self._most_fractional(x, integral_indices)
+            if branch_index is None:
+                # Integral solution: new incumbent.
+                if bound < incumbent_value:
+                    incumbent_value = bound
+                    incumbent_x = x
+                continue
+
+            floor_value = np.floor(x[branch_index])
+            # "Down" child: x_i <= floor(value)
+            down_upper = node.upper.copy()
+            down_upper[branch_index] = floor_value
+            if node.lower[branch_index] <= down_upper[branch_index]:
+                heapq.heappush(
+                    heap, _Node(bound, next(counter), node.lower.copy(), down_upper)
+                )
+            # "Up" child: x_i >= floor(value) + 1
+            up_lower = node.lower.copy()
+            up_lower[branch_index] = floor_value + 1
+            if up_lower[branch_index] <= node.upper[branch_index]:
+                heapq.heappush(
+                    heap, _Node(bound, next(counter), up_lower, node.upper.copy())
+                )
+
+        elapsed = time.perf_counter() - started
+        if incumbent_x is None:
+            terminal = (
+                SolveStatus.INFEASIBLE if status is SolveStatus.OPTIMAL else status
+            )
+            return Solution(
+                status=terminal,
+                solver_name=self.name,
+                solve_seconds=elapsed,
+                nodes_explored=nodes_explored,
+            )
+
+        values = {}
+        for i, var in enumerate(form.variables):
+            value = float(incumbent_x[i])
+            if var.is_integral:
+                value = float(round(value))
+            values[var] = value
+        objective = incumbent_value
+        if form.maximize:
+            objective = -objective
+        objective += form.objective_constant
+        return Solution(
+            status=status,
+            objective_value=objective,
+            values=values,
+            solver_name=self.name,
+            solve_seconds=elapsed,
+            nodes_explored=nodes_explored,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _solve_relaxation(form, lower: np.ndarray, upper: np.ndarray):
+        """Solve the LP relaxation; return ``(objective, x)`` or ``None``."""
+        bounds = list(zip(lower, upper))
+        result = linprog(
+            c=form.c,
+            A_ub=form.a_ub if form.a_ub.shape[0] else None,
+            b_ub=form.b_ub if form.a_ub.shape[0] else None,
+            A_eq=form.a_eq if form.a_eq.shape[0] else None,
+            b_eq=form.b_eq if form.a_eq.shape[0] else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            return None
+        return float(result.fun), np.asarray(result.x, dtype=float)
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integral_indices: np.ndarray):
+        """Index of the integral variable farthest from an integer, or None."""
+        if integral_indices.size == 0:
+            return None
+        fractional_parts = np.abs(
+            x[integral_indices] - np.round(x[integral_indices])
+        )
+        worst = int(np.argmax(fractional_parts))
+        if fractional_parts[worst] <= _INTEGRALITY_TOLERANCE:
+            return None
+        return int(integral_indices[worst])

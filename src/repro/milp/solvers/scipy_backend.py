@@ -1,0 +1,112 @@
+"""MILP backend built on :func:`scipy.optimize.milp` (HiGHS)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.base import SolverBackend
+
+
+def scipy_milp_available() -> bool:
+    """Whether the installed SciPy exposes :func:`scipy.optimize.milp`."""
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on environment
+        return False
+    return True
+
+
+# HiGHS status codes documented by scipy.optimize.milp.
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.TIME_LIMIT,  # iteration/time limit reached
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+class ScipySolver(SolverBackend):
+    """Exact MILP solves through SciPy's HiGHS bindings."""
+
+    name = "scipy"
+
+    def solve(
+        self,
+        model,
+        time_limit: float | None = None,
+        mip_rel_gap: float = 0.0,
+        **options,
+    ) -> Solution:
+        try:
+            from scipy.optimize import Bounds, LinearConstraint, milp
+        except ImportError as exc:  # pragma: no cover - depends on environment
+            raise SolverError(
+                "scipy.optimize.milp is unavailable; use the branch_and_bound solver"
+            ) from exc
+
+        form = model.to_standard_form()
+        n = len(form.variables)
+        if n == 0:
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                objective_value=form.objective_constant,
+                values={},
+                solver_name=self.name,
+            )
+
+        constraints = []
+        if form.a_ub.shape[0]:
+            constraints.append(
+                LinearConstraint(form.a_ub, -np.inf * np.ones(form.a_ub.shape[0]), form.b_ub)
+            )
+        if form.a_eq.shape[0]:
+            constraints.append(LinearConstraint(form.a_eq, form.b_eq, form.b_eq))
+
+        bounds = Bounds(lb=form.lower, ub=form.upper)
+        solver_options: dict[str, object] = {"mip_rel_gap": mip_rel_gap}
+        if time_limit is not None:
+            solver_options["time_limit"] = float(time_limit)
+        solver_options.update(options.get("highs_options", {}))
+
+        started = time.perf_counter()
+        result = milp(
+            c=form.c,
+            constraints=constraints,
+            integrality=form.integrality,
+            bounds=bounds,
+            options=solver_options,
+        )
+        elapsed = time.perf_counter() - started
+
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+        values: dict = {}
+        objective = None
+        if result.x is not None:
+            x = np.asarray(result.x, dtype=float)
+            values = {var: self._clean(var, x[i]) for i, var in enumerate(form.variables)}
+            raw_objective = float(form.c @ x)
+            if form.maximize:
+                raw_objective = -raw_objective
+            objective = raw_objective + form.objective_constant
+            if status is not SolveStatus.OPTIMAL:
+                # An incumbent exists even though the solver stopped early.
+                status = SolveStatus.TIME_LIMIT
+        return Solution(
+            status=status,
+            objective_value=objective,
+            values=values,
+            solver_name=self.name,
+            solve_seconds=elapsed,
+        )
+
+    @staticmethod
+    def _clean(variable, value: float) -> float:
+        """Snap integral variables to the nearest integer to remove noise."""
+        if variable.is_integral:
+            return float(round(value))
+        return float(value)

@@ -1,0 +1,28 @@
+"""Provenance (data annotation) machinery.
+
+Section 3.1 of the paper builds the MILP over the output of ``~Q`` (the input
+query stripped of its selection predicates and DISTINCT), annotating every
+tuple with *lineage*: the set of annotation variables ``A_v`` (categorical)
+and ``A_{v,⋄}`` (numerical) describing which predicate refinements would
+select it.  This subpackage computes those annotations, the duplicate sets
+``S(t)`` used for DISTINCT queries, and the lineage equivalence classes used
+by the Section 4 optimizations.
+"""
+
+from repro.provenance.lineage import (
+    AnnotatedDatabase,
+    AnnotatedTuple,
+    CategoricalAtom,
+    LineageAtom,
+    NumericalAtom,
+    annotate,
+)
+
+__all__ = [
+    "AnnotatedDatabase",
+    "AnnotatedTuple",
+    "CategoricalAtom",
+    "LineageAtom",
+    "NumericalAtom",
+    "annotate",
+]

@@ -1,0 +1,238 @@
+"""Lineage annotations over the unfiltered query output ``~Q(D)``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.executor import QueryExecutor, RankedResult
+from repro.relational.predicates import (
+    CategoricalPredicate,
+    NumericalPredicate,
+    Operator,
+)
+from repro.relational.query import SPJQuery
+
+
+@dataclass(frozen=True)
+class CategoricalAtom:
+    """Annotation ``A_v``: "the categorical predicate on ``attribute`` includes ``value``"."""
+
+    attribute: str
+    value: object
+
+    def label(self) -> str:
+        return f"{self.attribute}[{self.value}]"
+
+
+@dataclass(frozen=True)
+class NumericalAtom:
+    """Annotation ``A_{v,⋄}``: "``value ⋄ C`` holds for the refined constant ``C``"."""
+
+    attribute: str
+    operator: Operator
+    value: float
+
+    def label(self) -> str:
+        return f"{self.attribute}[{self.value:g}{self.operator.value}]"
+
+
+LineageAtom = CategoricalAtom | NumericalAtom
+
+
+@dataclass(frozen=True)
+class AnnotatedTuple:
+    """A tuple of ``~Q(D)`` together with its lineage annotation.
+
+    Attributes
+    ----------
+    position:
+        0-based rank of the tuple in ``~Q(D)`` (the ranking that any
+        refinement preserves).
+    values:
+        The full-width row as an attribute → value mapping.
+    lineage:
+        The set of annotation atoms whose conjunction selects this tuple
+        (the paper's ``Lineage(t)``).
+    distinct_key:
+        Values of the DISTINCT attributes, or ``None`` for non-DISTINCT queries.
+    score:
+        Value of the ranking attribute.
+    """
+
+    position: int
+    values: Mapping[str, object]
+    lineage: frozenset[LineageAtom]
+    distinct_key: tuple[object, ...] | None
+    score: float
+
+    def __getitem__(self, attribute: str) -> object:
+        return self.values[attribute]
+
+
+class AnnotatedDatabase:
+    """The annotated output of ``~Q(D)`` plus the derived index structures.
+
+    This object is what both the MILP construction (Section 3) and the
+    provenance-accelerated baselines consume: it contains everything needed to
+    reason about *every possible refinement* of the input query without going
+    back to the DBMS.
+    """
+
+    def __init__(
+        self,
+        query: SPJQuery,
+        tuples: list[AnnotatedTuple],
+        categorical_domains: dict[str, list[object]],
+        numerical_domains: dict[str, list[float]],
+    ) -> None:
+        self.query = query
+        self.tuples = tuples
+        self.categorical_domains = categorical_domains
+        self.numerical_domains = numerical_domains
+        self._duplicates_before = self._compute_duplicates()
+        self._lineage_classes = self._compute_lineage_classes()
+
+    # -- construction helpers --------------------------------------------------
+
+    def _compute_duplicates(self) -> dict[int, list[int]]:
+        """For each tuple position, the better-ranked positions sharing its DISTINCT key."""
+        earlier: dict[tuple[object, ...], list[int]] = {}
+        duplicates: dict[int, list[int]] = {}
+        for annotated in self.tuples:
+            if annotated.distinct_key is None:
+                duplicates[annotated.position] = []
+                continue
+            previous = earlier.setdefault(annotated.distinct_key, [])
+            duplicates[annotated.position] = list(previous)
+            previous.append(annotated.position)
+        return duplicates
+
+    def _compute_lineage_classes(self) -> dict[frozenset[LineageAtom], list[int]]:
+        """Group tuple positions by identical lineage (the classes ``[Lineage(t)]``)."""
+        classes: dict[frozenset[LineageAtom], list[int]] = {}
+        for annotated in self.tuples:
+            classes.setdefault(annotated.lineage, []).append(annotated.position)
+        return classes
+
+    # -- accessors ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def duplicates_before(self, position: int) -> list[int]:
+        """The paper's ``S(t)`` for the tuple at ``position``."""
+        return self._duplicates_before[position]
+
+    @property
+    def lineage_classes(self) -> dict[frozenset[LineageAtom], list[int]]:
+        """Mapping from lineage to the positions sharing it (each in rank order)."""
+        return self._lineage_classes
+
+    @property
+    def num_lineage_classes(self) -> int:
+        return len(self._lineage_classes)
+
+    def tuples_in_group(self, member) -> list[AnnotatedTuple]:
+        """Tuples whose values satisfy a group-membership callable."""
+        return [t for t in self.tuples if member(t.values)]
+
+    def numeric_domain(self, attribute: str) -> list[float]:
+        """Sorted distinct values of a numerical predicate attribute."""
+        return self.numerical_domains[attribute]
+
+    def big_m(self, attribute: str) -> float:
+        """A constant strictly larger than ``max |v|`` over the attribute domain."""
+        domain = self.numerical_domains[attribute]
+        return max(abs(value) for value in domain) + 1.0
+
+    def smallest_gap(self, attribute: str) -> float:
+        """The paper's ``delta``: smaller than the smallest pairwise domain gap."""
+        domain = self.numerical_domains[attribute]
+        if len(domain) < 2:
+            return 1e-3
+        gaps = [b - a for a, b in zip(domain, domain[1:]) if b > a]
+        smallest = min(gaps) if gaps else 1.0
+        return smallest / 2.0
+
+    def relevant_prefix(self, k_star: int) -> list[AnnotatedTuple]:
+        """Relevancy-based pruning (Section 4): top-``k*`` of each lineage class.
+
+        A tuple past position ``k*`` within its lineage equivalence class can
+        never reach the global top-``k*`` of any refinement, because every
+        refinement that selects it also selects all better-ranked tuples of the
+        same class.  The returned list preserves global rank order.
+        """
+        keep: set[int] = set()
+        for positions in self._lineage_classes.values():
+            keep.update(positions[:k_star])
+        return [t for t in self.tuples if t.position in keep]
+
+
+def annotate(query: SPJQuery, database: Database) -> AnnotatedDatabase:
+    """Annotate the unfiltered output ``~Q(D)`` of ``query`` over ``database``."""
+    executor = QueryExecutor(database)
+    unfiltered: RankedResult = executor.evaluate_unfiltered(query)
+    return annotate_result(query, unfiltered)
+
+
+def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatabase:
+    """Annotate an already evaluated ``~Q(D)`` result (used by the benchmarks)."""
+    relation = unfiltered.relation
+    schema = relation.schema
+
+    for predicate in query.where:
+        if predicate.attribute not in schema:
+            raise QueryError(
+                f"predicate attribute {predicate.attribute!r} is missing from the "
+                f"joined relation; available: {schema.names}"
+            )
+
+    categorical_domains: dict[str, list[object]] = {}
+    for predicate in query.categorical_predicates:
+        categorical_domains[predicate.attribute] = relation.domain(predicate.attribute)
+
+    numerical_domains: dict[str, list[float]] = {}
+    for predicate in query.numerical_predicates:
+        values = sorted(
+            float(v) for v in set(relation.column(predicate.attribute)) if v is not None
+        )
+        numerical_domains[predicate.attribute] = values
+
+    select = list(query.select)
+    distinct_indices = (
+        [schema.index_of(name) for name in select] if query.distinct and select else None
+    )
+    order_index = schema.index_of(query.order_by.attribute)
+    names = schema.names
+
+    annotated: list[AnnotatedTuple] = []
+    for position, row in enumerate(relation.rows):
+        values = dict(zip(names, row))
+        lineage: set[LineageAtom] = set()
+        for predicate in query.categorical_predicates:
+            lineage.add(CategoricalAtom(predicate.attribute, values[predicate.attribute]))
+        for predicate in query.numerical_predicates:
+            lineage.add(
+                NumericalAtom(
+                    predicate.attribute,
+                    predicate.operator,
+                    float(values[predicate.attribute]),
+                )
+            )
+        distinct_key = (
+            tuple(row[i] for i in distinct_indices) if distinct_indices is not None else None
+        )
+        annotated.append(
+            AnnotatedTuple(
+                position=position,
+                values=values,
+                lineage=frozenset(lineage),
+                distinct_key=distinct_key,
+                score=float(row[order_index]),
+            )
+        )
+
+    return AnnotatedDatabase(query, annotated, categorical_domains, numerical_domains)

@@ -1,0 +1,40 @@
+"""An in-memory relational engine for conjunctive SPJ queries with ranking.
+
+The paper evaluates refinements over a DBMS (DuckDB).  This subpackage is the
+stand-in substrate: it provides schemas, relations, selection predicates,
+Select-Project-Join queries with ``ORDER BY`` and ``DISTINCT``, an executor
+producing ranked results, and a sqlite-backed executor used to cross-check the
+in-memory engine against a real SQL engine.
+"""
+
+from repro.relational.schema import Attribute, AttributeKind, Schema
+from repro.relational.relation import Relation
+from repro.relational.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericalPredicate,
+    Operator,
+)
+from repro.relational.query import OrderBy, SPJQuery
+from repro.relational.database import Database
+from repro.relational.executor import QueryExecutor, RankedResult
+from repro.relational.sqlgen import render_sql
+from repro.relational.sqlite_backend import SQLiteExecutor
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "CategoricalPredicate",
+    "Conjunction",
+    "Database",
+    "NumericalPredicate",
+    "Operator",
+    "OrderBy",
+    "QueryExecutor",
+    "RankedResult",
+    "Relation",
+    "SPJQuery",
+    "SQLiteExecutor",
+    "Schema",
+    "render_sql",
+]

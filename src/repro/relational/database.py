@@ -1,0 +1,99 @@
+"""A named collection of relations."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttributeKind, Schema
+
+
+class Database:
+    """A trivially simple "database": a dict of relations by name."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register (or replace) a relation under its own name."""
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Fetch a relation, raising :class:`SchemaError` when unknown."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; database has {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations (a data-size proxy)."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    # -- CSV persistence (used by the dataset generators and examples) ----------
+
+    def save_csv(self, directory: str | pathlib.Path) -> None:
+        """Write one CSV file per relation into ``directory``."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for relation in self:
+            path = directory / f"{relation.name}.csv"
+            with path.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                header = [
+                    f"{attribute.name}:{attribute.kind.value}"
+                    for attribute in relation.schema
+                ]
+                writer.writerow(header)
+                writer.writerows(relation.rows)
+
+    @classmethod
+    def load_csv(cls, directory: str | pathlib.Path) -> "Database":
+        """Load every ``*.csv`` file written by :meth:`save_csv`."""
+        directory = pathlib.Path(directory)
+        database = cls()
+        for path in sorted(directory.glob("*.csv")):
+            with path.open(newline="") as handle:
+                reader = csv.reader(handle)
+                header = next(reader)
+                attributes = []
+                for column in header:
+                    name, _, kind = column.rpartition(":")
+                    attributes.append(Attribute(name, AttributeKind(kind)))
+                schema = Schema(attributes)
+                rows = []
+                for raw in reader:
+                    row = []
+                    for attribute, value in zip(attributes, raw):
+                        if attribute.kind is AttributeKind.NUMERICAL:
+                            row.append(float(value) if value != "" else None)
+                        else:
+                            row.append(value if value != "" else None)
+                    rows.append(tuple(row))
+            database.add(Relation(path.stem, schema, rows))
+        return database
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({len(relation)})" for name, relation in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

@@ -1,0 +1,142 @@
+"""Evaluation of :class:`~repro.relational.query.SPJQuery` over a database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """The ranked output of an SPJ query.
+
+    Attributes
+    ----------
+    query:
+        The query that produced this result.
+    relation:
+        The full-width result: joined rows that satisfy the selection, ordered
+        by the ``ORDER BY`` clause, de-duplicated when the query is DISTINCT.
+        Keeping the full width (not just the projected columns) lets
+        cardinality constraints test group membership on attributes that are
+        not part of the projection.
+    projected:
+        The user-visible projection of ``relation``.
+    """
+
+    query: SPJQuery
+    relation: Relation
+    projected: Relation
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def top_k(self, k: int) -> Relation:
+        """The top-``k`` rows of the full-width result."""
+        return self.relation.head(k)
+
+    def item_key(self, position: int) -> tuple[object, ...]:
+        """Identity of the item at ``position`` for set/rank comparisons.
+
+        DISTINCT queries identify items by their projected (distinct) values;
+        otherwise the identity is the full row.
+        """
+        if self.query.distinct and self.query.select:
+            return tuple(self.projected[position])
+        return tuple(self.relation[position])
+
+    def top_k_keys(self, k: int) -> list[tuple[object, ...]]:
+        """Identities of the top-``k`` items, in rank order."""
+        return [self.item_key(i) for i in range(min(k, len(self.relation)))]
+
+    def count_in_top_k(self, k: int, member: Callable[[dict], bool]) -> int:
+        """Number of top-``k`` rows satisfying a group-membership test."""
+        names = self.relation.schema.names
+        count = 0
+        for row in self.relation.rows[:k]:
+            if member(dict(zip(names, row))):
+                count += 1
+        return count
+
+    def scores(self) -> list[float]:
+        """Values of the ranking attribute, in rank order."""
+        return [float(v) for v in self.relation.column(self.query.order_by.attribute)]
+
+
+class QueryExecutor:
+    """Evaluates SPJ queries over an in-memory :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # -- public API --------------------------------------------------------------
+
+    def evaluate(self, query: SPJQuery) -> RankedResult:
+        """Evaluate ``query`` and return its ranked result."""
+        joined = self._join(query.tables)
+        self._validate(query, joined)
+        selected = joined.select(query.where)
+        ordered = selected.order_by(
+            query.order_by.attribute, descending=query.order_by.descending
+        )
+        if query.distinct and query.select:
+            ordered = self._deduplicate(ordered, query.select)
+        projected = (
+            ordered.project(query.select) if query.select else ordered
+        )
+        return RankedResult(query=query, relation=ordered, projected=projected)
+
+    def evaluate_unfiltered(self, query: SPJQuery) -> RankedResult:
+        """Evaluate the paper's ``~Q``: no selection, no DISTINCT, same ranking."""
+        return self.evaluate(query.without_selection())
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _join(self, tables: Sequence[str]) -> Relation:
+        relations = [self.database.relation(name) for name in tables]
+        joined = relations[0]
+        for relation in relations[1:]:
+            joined = relation if joined is None else joined.natural_join(relation)
+        return joined
+
+    @staticmethod
+    def _deduplicate(ordered: Relation, select: Sequence[str]) -> Relation:
+        """Keep only the best-ranked row for each combination of DISTINCT values."""
+        indices = [ordered.schema.index_of(name) for name in select]
+        seen: set[tuple[object, ...]] = set()
+        kept = []
+        for row in ordered.rows:
+            key = tuple(row[i] for i in indices)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(row)
+        return Relation(ordered.name, ordered.schema, kept)
+
+    @staticmethod
+    def _validate(query: SPJQuery, joined: Relation) -> None:
+        schema = joined.schema
+        unknown = [
+            attribute
+            for attribute in query.predicate_attributes
+            if attribute not in schema
+        ]
+        if unknown:
+            raise QueryError(
+                f"query {query.name!r} filters on unknown attributes {unknown}"
+            )
+        if query.order_by.attribute not in schema:
+            raise QueryError(
+                f"query {query.name!r} orders by unknown attribute "
+                f"{query.order_by.attribute!r}"
+            )
+        for attribute in query.select:
+            if attribute not in schema:
+                raise QueryError(
+                    f"query {query.name!r} projects unknown attribute {attribute!r}"
+                )

@@ -1,0 +1,149 @@
+"""SPJ queries with ``ORDER BY`` and optional ``DISTINCT``.
+
+An :class:`SPJQuery` captures exactly the query class from Section 2 of the
+paper: a conjunctive selection over the natural join of one or more relations,
+a projection (optionally ``DISTINCT``) and an ``ORDER BY s DESC`` clause whose
+score attribute ranks the selected tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import QueryError
+from repro.relational.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericalPredicate,
+)
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``ORDER BY attribute [DESC|ASC]``."""
+
+    attribute: str
+    descending: bool = True
+
+    def render(self) -> str:
+        direction = "DESC" if self.descending else "ASC"
+        return f'"{self.attribute}" {direction}'
+
+
+@dataclass(frozen=True)
+class SPJQuery:
+    """A conjunctive Select-Project-Join query with ranking.
+
+    Parameters
+    ----------
+    tables:
+        Relation names joined with NATURAL JOIN, in order.
+    where:
+        Conjunction of numerical and categorical predicates.
+    select:
+        Projected attribute names; an empty sequence means ``SELECT *``.
+    distinct:
+        Whether the projection de-duplicates (keeping the better-ranked tuple).
+    order_by:
+        The ranking clause.
+    name:
+        Optional label used in logs, benchmark output and figures.
+    """
+
+    tables: tuple[str, ...]
+    where: Conjunction
+    order_by: OrderBy
+    select: tuple[str, ...] = ()
+    distinct: bool = False
+    name: str = "Q"
+
+    def __init__(
+        self,
+        tables: Sequence[str],
+        where: Conjunction | Sequence = (),
+        order_by: OrderBy | str | None = None,
+        select: Sequence[str] = (),
+        distinct: bool = False,
+        name: str = "Q",
+    ) -> None:
+        if not tables:
+            raise QueryError("a query must reference at least one relation")
+        if order_by is None:
+            raise QueryError("a ranking query requires an ORDER BY clause")
+        if isinstance(order_by, str):
+            order_by = OrderBy(order_by)
+        if not isinstance(where, Conjunction):
+            where = Conjunction(tuple(where))
+        object.__setattr__(self, "tables", tuple(tables))
+        object.__setattr__(self, "where", where)
+        object.__setattr__(self, "order_by", order_by)
+        object.__setattr__(self, "select", tuple(select))
+        object.__setattr__(self, "distinct", bool(distinct))
+        object.__setattr__(self, "name", name)
+
+    # -- predicate accessors (paper notation) -----------------------------------
+
+    @property
+    def numerical_predicates(self) -> list[NumericalPredicate]:
+        """``Num(Q)``."""
+        return self.where.numerical
+
+    @property
+    def categorical_predicates(self) -> list[CategoricalPredicate]:
+        """``Cat(Q)``."""
+        return self.where.categorical
+
+    @property
+    def predicate_attributes(self) -> list[str]:
+        """``Preds(Q)`` — attributes constrained by the selection."""
+        return self.where.attributes
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.where)
+
+    # -- derivations ---------------------------------------------------------------
+
+    def with_where(self, where: Conjunction) -> "SPJQuery":
+        """A copy of the query with a different selection condition."""
+        return SPJQuery(
+            tables=self.tables,
+            where=where,
+            order_by=self.order_by,
+            select=self.select,
+            distinct=self.distinct,
+            name=self.name,
+        )
+
+    def with_name(self, name: str) -> "SPJQuery":
+        return SPJQuery(
+            tables=self.tables,
+            where=self.where,
+            order_by=self.order_by,
+            select=self.select,
+            distinct=self.distinct,
+            name=name,
+        )
+
+    def without_selection(self) -> "SPJQuery":
+        """The paper's ``~Q``: drop all selection predicates and DISTINCT.
+
+        The output of ``~Q`` over a database contains the output of every
+        possible refinement, which is the set of tuples the MILP annotates.
+        """
+        return SPJQuery(
+            tables=self.tables,
+            where=Conjunction(),
+            order_by=self.order_by,
+            select=self.select,
+            distinct=False,
+            name=f"~{self.name}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SPJQuery({self.name!r}, tables={list(self.tables)}, "
+            f"where={self.where!r}, order_by={self.order_by.render()}, "
+            f"distinct={self.distinct})"
+        )

@@ -1,0 +1,212 @@
+"""The :class:`Relation` container: a schema plus an ordered bag of rows."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.predicates import Conjunction
+from repro.relational.schema import Attribute, AttributeKind, Schema
+
+
+class Relation:
+    """An ordered bag of tuples conforming to a :class:`Schema`.
+
+    Rows are stored as plain tuples aligned with the schema.  All operations
+    return new relations; relations are never mutated in place.
+    """
+
+    __slots__ = ("name", "schema", "_rows")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[object]] = (),
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        width = len(schema)
+        stored: list[tuple[object, ...]] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values, schema {schema!r} expects {width}"
+                )
+            stored.append(row)
+        self._rows = stored
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        name: str,
+        schema: Schema,
+        records: Iterable[Mapping[str, object]],
+    ) -> "Relation":
+        """Build a relation from dict records (missing keys become ``None``)."""
+        names = schema.names
+        rows = [tuple(record.get(column) for column in names) for record in records]
+        return cls(name, schema, rows)
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def rows(self) -> list[tuple[object, ...]]:
+        """The stored rows (copy of the list, rows themselves are immutable)."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(self._rows)
+
+    def __getitem__(self, position: int) -> tuple[object, ...]:
+        return self._rows[position]
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def column(self, attribute: str) -> list[object]:
+        """All values of ``attribute`` in row order."""
+        index = self.schema.index_of(attribute)
+        return [row[index] for row in self._rows]
+
+    def domain(self, attribute: str) -> list[object]:
+        """Distinct values of ``attribute`` (sorted for determinism)."""
+        values = set(self.column(attribute))
+        values.discard(None)
+        return sorted(values, key=lambda v: (str(type(v)), v))
+
+    def row_as_dict(self, position: int) -> dict[str, object]:
+        return dict(zip(self.schema.names, self._rows[position]))
+
+    def iter_dicts(self) -> Iterator[dict[str, object]]:
+        names = self.schema.names
+        for row in self._rows:
+            yield dict(zip(names, row))
+
+    def value(self, position: int, attribute: str) -> object:
+        """Value of ``attribute`` in the row at ``position``."""
+        return self._rows[position][self.schema.index_of(attribute)]
+
+    # -- relational operators ----------------------------------------------------
+
+    def select(self, condition: Conjunction | Callable[[dict], bool]) -> "Relation":
+        """Rows satisfying ``condition`` (a Conjunction or a row-dict callable)."""
+        names = self.schema.names
+        if isinstance(condition, Conjunction):
+            predicate = condition.matches
+        else:
+            predicate = condition
+        kept = [
+            row
+            for row in self._rows
+            if predicate(dict(zip(names, row)))
+        ]
+        return Relation(self.name, self.schema, kept)
+
+    def project(self, attributes: Sequence[str], distinct: bool = False) -> "Relation":
+        """Project onto ``attributes``; optionally de-duplicate keeping first."""
+        indices = [self.schema.index_of(attribute) for attribute in attributes]
+        projected_schema = self.schema.project(attributes)
+        rows = [tuple(row[i] for i in indices) for row in self._rows]
+        if distinct:
+            seen: set[tuple[object, ...]] = set()
+            unique: list[tuple[object, ...]] = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+        return Relation(self.name, projected_schema, rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on all shared attribute names (hash join)."""
+        shared = self.schema.common_attributes(other.schema)
+        joined_schema = self.schema.join(other.schema)
+        if not shared:
+            # Cartesian product (needed for TPC-H style star joins where the
+            # join keys may arrive in later relations).
+            rows = [
+                left + right for left in self._rows for right in other._rows
+            ]
+            return Relation(f"{self.name}*{other.name}", joined_schema, rows)
+
+        left_key = [self.schema.index_of(name) for name in shared]
+        right_key = [other.schema.index_of(name) for name in shared]
+        right_extra = [
+            other.schema.index_of(attribute.name)
+            for attribute in other.schema
+            if attribute.name not in self.schema
+        ]
+
+        buckets: dict[tuple[object, ...], list[tuple[object, ...]]] = {}
+        for row in other._rows:
+            key = tuple(row[i] for i in right_key)
+            buckets.setdefault(key, []).append(row)
+
+        rows = []
+        for row in self._rows:
+            key = tuple(row[i] for i in left_key)
+            for match in buckets.get(key, ()):
+                rows.append(row + tuple(match[i] for i in right_extra))
+        return Relation(f"{self.name}*{other.name}", joined_schema, rows)
+
+    def order_by(self, attribute: str, descending: bool = True) -> "Relation":
+        """Stable sort by ``attribute`` (ties keep their current order)."""
+        index = self.schema.index_of(attribute)
+        ordered = sorted(
+            self._rows, key=lambda row: row[index], reverse=descending
+        )
+        return Relation(self.name, self.schema, ordered)
+
+    def head(self, k: int) -> "Relation":
+        """The first ``k`` rows (the top-k of a ranked relation)."""
+        return Relation(self.name, self.schema, self._rows[:k])
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Append the rows of ``other`` (schemas must match)."""
+        if self.schema != other.schema:
+            raise SchemaError("cannot concatenate relations with different schemas")
+        return Relation(self.name, self.schema, self._rows + other._rows)
+
+    def rename(self, name: str) -> "Relation":
+        return Relation(name, self.schema, self._rows)
+
+    def with_column(
+        self,
+        attribute: Attribute,
+        compute: Callable[[dict], object],
+    ) -> "Relation":
+        """Add a derived column computed from each row (e.g. MEPS utilization)."""
+        if attribute.name in self.schema:
+            raise SchemaError(f"attribute {attribute.name!r} already exists")
+        names = self.schema.names
+        new_schema = Schema(list(self.schema.attributes) + [attribute])
+        rows = [
+            row + (compute(dict(zip(names, row))),) for row in self._rows
+        ]
+        return Relation(self.name, new_schema, rows)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def count_where(self, condition: Callable[[dict], bool]) -> int:
+        """Number of rows satisfying a row-dict predicate."""
+        names = self.schema.names
+        return sum(1 for row in self._rows if condition(dict(zip(names, row))))
+
+    def min_max(self, attribute: str) -> tuple[float, float]:
+        """Minimum and maximum of a numerical attribute (ignores ``None``)."""
+        if self.schema.kind_of(attribute) is not AttributeKind.NUMERICAL:
+            raise SchemaError(f"attribute {attribute!r} is not numerical")
+        values = [float(v) for v in self.column(attribute) if v is not None]
+        if not values:
+            raise SchemaError(f"attribute {attribute!r} has no non-null values")
+        return min(values), max(values)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, rows={len(self._rows)}, schema={self.schema!r})"

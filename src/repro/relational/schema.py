@@ -1,0 +1,152 @@
+"""Schemas: attribute names, kinds and ordering."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """The two attribute kinds the paper's refinement model distinguishes.
+
+    Numerical attributes participate in predicates of the form ``A ⋄ C``;
+    categorical attributes participate in predicates of the form
+    ``A IN {c1, ..., cm}``.
+    """
+
+    CATEGORICAL = "categorical"
+    NUMERICAL = "numerical"
+
+
+class Attribute:
+    """A named, typed column."""
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: AttributeKind) -> None:
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        self.name = name
+        self.kind = kind
+
+    @property
+    def is_numerical(self) -> bool:
+        return self.kind is AttributeKind.NUMERICAL
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.kind))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, {self.kind.value})"
+
+
+def categorical(name: str) -> Attribute:
+    """Shorthand constructor for a categorical attribute."""
+    return Attribute(name, AttributeKind.CATEGORICAL)
+
+
+def numerical(name: str) -> Attribute:
+    """Shorthand constructor for a numerical attribute."""
+    return Attribute(name, AttributeKind.NUMERICAL)
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attributes = list(attributes)
+        names = [attribute.name for attribute in attributes]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {duplicates}")
+        self._attributes = tuple(attributes)
+        self._index = {attribute.name: i for i, attribute in enumerate(attributes)}
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> list[str]:
+        return [attribute.name for attribute in self._attributes]
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.names}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Positional index of ``name`` within rows of this schema."""
+        if name not in self._index:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.names}"
+            )
+        return self._index[name]
+
+    def kind_of(self, name: str) -> AttributeKind:
+        return self.attribute(name).kind
+
+    # -- derivations -----------------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        return Schema([self.attribute(name) for name in names])
+
+    def common_attributes(self, other: "Schema") -> list[str]:
+        """Attribute names shared with ``other`` (natural-join keys)."""
+        return [name for name in self.names if name in other]
+
+    def join(self, other: "Schema") -> "Schema":
+        """Schema of the natural join: self's attributes then other's new ones."""
+        for name in self.common_attributes(other):
+            if self.attribute(name).kind != other.attribute(name).kind:
+                raise SchemaError(
+                    f"attribute {name!r} has conflicting kinds in the two schemas"
+                )
+        extra = [
+            attribute for attribute in other.attributes if attribute.name not in self
+        ]
+        return Schema(list(self._attributes) + extra)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{attribute.name}:{attribute.kind.value[:3]}"
+            for attribute in self._attributes
+        )
+        return f"Schema({inner})"

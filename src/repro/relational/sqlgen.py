@@ -1,0 +1,71 @@
+"""Rendering :class:`SPJQuery` objects as SQL text.
+
+The generated SQL is used by :mod:`repro.relational.sqlite_backend` to
+cross-check the in-memory executor against sqlite, and by the examples to show
+users the refined query in familiar SQL form (as the paper does in its
+examples).
+"""
+
+from __future__ import annotations
+
+from repro.relational.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericalPredicate,
+)
+from repro.relational.query import SPJQuery
+
+
+def _quote_identifier(name: str) -> str:
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _quote_literal(value: object) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:g}"
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def render_predicate(predicate: NumericalPredicate | CategoricalPredicate) -> str:
+    """Render a single predicate as a SQL boolean expression."""
+    if isinstance(predicate, NumericalPredicate):
+        return (
+            f"{_quote_identifier(predicate.attribute)} {predicate.operator.value} "
+            f"{predicate.constant:g}"
+        )
+    values = sorted(predicate.values, key=str)
+    clauses = [
+        f"{_quote_identifier(predicate.attribute)} = {_quote_literal(value)}"
+        for value in values
+    ]
+    if len(clauses) == 1:
+        return clauses[0]
+    return "(" + " OR ".join(clauses) + ")"
+
+
+def render_where(where: Conjunction) -> str:
+    """Render a conjunction; an empty conjunction renders as ``1 = 1``."""
+    if not len(where):
+        return "1 = 1"
+    return " AND ".join(render_predicate(predicate) for predicate in where)
+
+
+def render_sql(query: SPJQuery) -> str:
+    """Render an SPJ query as a SQL string (NATURAL JOIN form)."""
+    if query.select:
+        columns = ", ".join(_quote_identifier(name) for name in query.select)
+    else:
+        columns = "*"
+    distinct = "DISTINCT " if query.distinct else ""
+    from_clause = " NATURAL JOIN ".join(
+        _quote_identifier(table) for table in query.tables
+    )
+    direction = "DESC" if query.order_by.descending else "ASC"
+    return (
+        f"SELECT {distinct}{columns}\n"
+        f"FROM {from_clause}\n"
+        f"WHERE {render_where(query.where)}\n"
+        f"ORDER BY {_quote_identifier(query.order_by.attribute)} {direction}"
+    )

@@ -1,0 +1,101 @@
+"""Executing SPJ queries on sqlite3 (standard library).
+
+The paper evaluates queries on DuckDB; sqlite plays that role here.  The
+backend is used for cross-checking the in-memory executor and in the examples
+to demonstrate that refined queries are ordinary SQL that any engine can run.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Sequence
+
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttributeKind
+from repro.relational.sqlgen import _quote_identifier, render_where
+
+
+class SQLiteExecutor:
+    """Materialises a :class:`Database` into sqlite and runs queries as SQL."""
+
+    def __init__(self, database: Database, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self._load(database)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- loading -------------------------------------------------------------------
+
+    def _load(self, database: Database) -> None:
+        cursor = self.connection.cursor()
+        for relation in database:
+            columns = []
+            for attribute in relation.schema:
+                sql_type = (
+                    "REAL" if attribute.kind is AttributeKind.NUMERICAL else "TEXT"
+                )
+                columns.append(f"{_quote_identifier(attribute.name)} {sql_type}")
+            cursor.execute(
+                f"CREATE TABLE {_quote_identifier(relation.name)} "
+                f"({', '.join(columns)})"
+            )
+            placeholders = ", ".join("?" for _ in relation.schema)
+            cursor.executemany(
+                f"INSERT INTO {_quote_identifier(relation.name)} "
+                f"VALUES ({placeholders})",
+                relation.rows,
+            )
+        self.connection.commit()
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, query: SPJQuery) -> list[tuple]:
+        """Run ``query`` and return the projected rows in rank order.
+
+        DISTINCT ranking queries are rewritten with GROUP BY so that sqlite can
+        order groups by the best score among their duplicates, matching the
+        "keep the better-ranked duplicate" semantics of the in-memory engine.
+        """
+        cursor = self.connection.cursor()
+        cursor.execute(self._render(query))
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def execute_sql(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
+        """Run raw SQL (escape hatch for tests and examples)."""
+        cursor = self.connection.cursor()
+        cursor.execute(sql, parameters)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def _render(self, query: SPJQuery) -> str:
+        from_clause = " NATURAL JOIN ".join(
+            _quote_identifier(table) for table in query.tables
+        )
+        where_clause = render_where(query.where)
+        order_attribute = _quote_identifier(query.order_by.attribute)
+        direction = "DESC" if query.order_by.descending else "ASC"
+
+        if query.distinct and query.select:
+            columns = ", ".join(_quote_identifier(name) for name in query.select)
+            best = "MAX" if query.order_by.descending else "MIN"
+            return (
+                f"SELECT {columns} FROM {from_clause} WHERE {where_clause} "
+                f"GROUP BY {columns} ORDER BY {best}({order_attribute}) {direction}"
+            )
+
+        columns = (
+            ", ".join(_quote_identifier(name) for name in query.select)
+            if query.select
+            else "*"
+        )
+        return (
+            f"SELECT {columns} FROM {from_clause} WHERE {where_clause} "
+            f"ORDER BY {order_attribute} {direction}"
+        )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstraintSet, at_least, at_most
+from repro.datasets import scholarship_query, students_database
+from repro.relational import QueryExecutor
+
+
+@pytest.fixture(scope="session")
+def students_db():
+    """The running-example database (Tables 1 and 2)."""
+    return students_database()
+
+
+@pytest.fixture(scope="session")
+def scholarship():
+    """The running-example scholarship query."""
+    return scholarship_query()
+
+
+@pytest.fixture(scope="session")
+def scholarship_constraints():
+    """The running-example constraints: >=3 women in top-6, <=1 high income in top-3."""
+    return ConstraintSet([at_least(3, 6, Gender="F"), at_most(1, 3, Income="High")])
+
+
+@pytest.fixture(scope="session")
+def students_executor(students_db):
+    return QueryExecutor(students_db)

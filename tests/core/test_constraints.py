@@ -1,0 +1,172 @@
+"""Tests for groups, cardinality constraints and the deviation measure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import BoundType, CardinalityConstraint, ConstraintSet, Group, at_least, at_most
+from repro.exceptions import ConstraintError
+from repro.relational import QueryExecutor
+
+
+class TestGroup:
+    def test_matches_single_condition(self):
+        group = Group({"Gender": "F"})
+        assert group.matches({"Gender": "F", "Income": "Low"})
+        assert not group.matches({"Gender": "M"})
+        assert not group.matches({})
+
+    def test_matches_conjunction_of_conditions(self):
+        group = Group({"Gender": "F", "Income": "Low"})
+        assert group.matches({"Gender": "F", "Income": "Low"})
+        assert not group.matches({"Gender": "F", "Income": "High"})
+
+    def test_label_is_sorted_and_readable(self):
+        group = Group({"Income": "Low", "Gender": "F"})
+        assert group.label() == "Gender=F,Income=Low"
+
+    def test_equality_and_hash(self):
+        assert Group({"A": 1, "B": 2}) == Group({"B": 2, "A": 1})
+        assert hash(Group({"A": 1})) == hash(Group({"A": 1}))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConstraintError):
+            Group({})
+
+
+class TestCardinalityConstraint:
+    def test_sign_convention(self):
+        assert BoundType.LOWER.sign == 1
+        assert BoundType.UPPER.sign == -1
+
+    def test_shortfall_for_lower_bound(self):
+        constraint = at_least(3, 6, Gender="F")
+        assert constraint.shortfall(1) == 2
+        assert constraint.shortfall(3) == 0
+        assert constraint.shortfall(5) == 0  # over-satisfaction is not penalised
+
+    def test_shortfall_for_upper_bound(self):
+        constraint = at_most(1, 3, Income="High")
+        assert constraint.shortfall(3) == 2
+        assert constraint.shortfall(1) == 0
+        assert constraint.shortfall(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            at_least(3, 0, Gender="F")
+        with pytest.raises(ConstraintError):
+            at_least(-1, 5, Gender="F")
+        with pytest.raises(ConstraintError):
+            at_least(7, 5, Gender="F")
+
+    def test_counts_on_running_example(self, students_executor, scholarship):
+        """The paper: top-6 of the scholarship query has 2 women, top-3 has 2 high income."""
+        result = students_executor.evaluate(scholarship)
+        women = at_least(3, 6, Gender="F")
+        high_income = at_most(1, 3, Income="High")
+        assert women.count_in(result) == 2
+        assert high_income.count_in(result) == 2
+        assert women.deviation(result) == pytest.approx(1 / 3)
+        assert high_income.deviation(result) == pytest.approx(1.0)
+        assert not women.is_satisfied(result)
+
+    def test_labels(self):
+        assert at_least(3, 6, Gender="F").label() == "l[Gender=F,k=6]=3"
+        assert at_most(1, 3, Income="High").label() == "u[Income=High,k=3]=1"
+
+
+class TestConstraintSet:
+    def test_requires_at_least_one_constraint(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet([])
+
+    def test_k_star_and_k_values(self, scholarship_constraints):
+        assert scholarship_constraints.k_star == 6
+        assert scholarship_constraints.k_values == [3, 6]
+
+    def test_groups_are_deduplicated(self):
+        constraints = ConstraintSet(
+            [at_least(1, 5, Gender="F"), at_most(4, 10, Gender="F"), at_least(1, 5, Race="Black")]
+        )
+        assert len(constraints.groups) == 2
+
+    def test_bound_types_per_group(self):
+        constraints = ConstraintSet(
+            [at_least(1, 5, Gender="F"), at_most(4, 10, Gender="F"), at_least(1, 5, Race="Black")]
+        )
+        per_group = constraints.bound_types_per_group()
+        assert per_group[Group({"Gender": "F"})] == {BoundType.LOWER, BoundType.UPPER}
+        assert per_group[Group({"Race": "Black"})] == {BoundType.LOWER}
+
+    def test_deviation_is_mean_of_constraint_deviations(
+        self, students_executor, scholarship, scholarship_constraints
+    ):
+        result = students_executor.evaluate(scholarship)
+        expected = (1 / 3 + 1.0) / 2
+        assert scholarship_constraints.deviation(result) == pytest.approx(expected)
+        assert not scholarship_constraints.is_satisfied(result)
+        assert scholarship_constraints.is_satisfied(result, epsilon=0.7)
+
+    def test_deviation_of_satisfying_ranking_is_zero(self, students_executor, scholarship):
+        """Example 1.2's refinement satisfies both constraints."""
+        from repro.relational import CategoricalPredicate, Conjunction, NumericalPredicate
+
+        refined = scholarship.with_where(
+            Conjunction(
+                [
+                    NumericalPredicate("GPA", ">=", 3.7),
+                    CategoricalPredicate("Activity", {"RB", "SO"}),
+                ]
+            )
+        )
+        result = students_executor.evaluate(refined)
+        constraints = ConstraintSet([at_least(3, 6, Gender="F"), at_most(1, 3, Income="High")])
+        assert constraints.deviation(result) == pytest.approx(0.0)
+        assert constraints.is_satisfied(result)
+
+    def test_counts_report(self, students_executor, scholarship, scholarship_constraints):
+        result = students_executor.evaluate(scholarship)
+        counts = scholarship_constraints.counts(result)
+        assert counts == {"l[Gender=F,k=6]=3": 2, "u[Income=High,k=3]=1": 2}
+
+    def test_subset(self, scholarship_constraints):
+        assert len(scholarship_constraints.subset(1)) == 1
+        with pytest.raises(ConstraintError):
+            scholarship_constraints.subset(3)
+
+
+@given(
+    count=st.integers(min_value=0, max_value=20),
+    bound=st.integers(min_value=1, max_value=10),
+)
+def test_property_lower_bound_shortfall_is_hinge(count, bound):
+    """Property: lower-bound shortfall equals max(bound - count, 0)."""
+    constraint = CardinalityConstraint(Group({"A": "x"}), k=20, bound=bound, bound_type=BoundType.LOWER)
+    assert constraint.shortfall(count) == max(bound - count, 0)
+
+
+@given(
+    count=st.integers(min_value=0, max_value=20),
+    bound=st.integers(min_value=1, max_value=10),
+)
+def test_property_upper_bound_shortfall_is_hinge(count, bound):
+    """Property: upper-bound shortfall equals max(count - bound, 0)."""
+    constraint = CardinalityConstraint(Group({"A": "x"}), k=20, bound=bound, bound_type=BoundType.UPPER)
+    assert constraint.shortfall(count) == max(count - bound, 0)
+
+
+@given(
+    bounds=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+    counts=st.lists(st.integers(min_value=0, max_value=8), min_size=4, max_size=4),
+)
+def test_property_deviation_is_bounded_by_one_for_lower_bounds(bounds, counts):
+    """Property: the deviation of any lower-bound-only constraint set is in [0, 1]."""
+    constraints = [
+        CardinalityConstraint(Group({"A": "x"}), k=10, bound=b, bound_type=BoundType.LOWER)
+        for b in bounds
+    ]
+    total = sum(
+        c.shortfall(counts[i % len(counts)]) / max(c.bound, 1) for i, c in enumerate(constraints)
+    ) / len(constraints)
+    assert 0.0 <= total <= 1.0

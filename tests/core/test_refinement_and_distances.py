@@ -1,0 +1,275 @@
+"""Tests for refinements, the refinement space and the distance measures."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    JaccardDistance,
+    KendallDistance,
+    PredicateDistance,
+    Refinement,
+    RefinementSpace,
+    get_distance,
+)
+from repro.exceptions import RefinementError
+from repro.provenance import annotate
+from repro.relational import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericalPredicate,
+    Operator,
+    QueryExecutor,
+)
+
+
+@pytest.fixture(scope="module")
+def executor(students_db_module):
+    return QueryExecutor(students_db_module)
+
+
+@pytest.fixture(scope="module")
+def students_db_module():
+    from repro.datasets import students_database
+
+    return students_database()
+
+
+@pytest.fixture(scope="module")
+def scholarship_module():
+    from repro.datasets import scholarship_query
+
+    return scholarship_query()
+
+
+def _refined(query, gpa=None, activities=None):
+    """Helper building the refinements used throughout the paper's examples."""
+    numerical = {("GPA", Operator.GREATER_EQUAL): gpa} if gpa is not None else {}
+    categorical = {"Activity": frozenset(activities)} if activities is not None else {}
+    return Refinement(numerical=numerical, categorical=categorical).apply(query)
+
+
+class TestRefinement:
+    def test_identity_refinement_reproduces_query(self, scholarship_module):
+        identity = Refinement.identity(scholarship_module)
+        refined = identity.apply(scholarship_module)
+        assert refined.where == scholarship_module.where
+        assert identity.is_identity(scholarship_module)
+
+    def test_apply_changes_only_named_predicates(self, scholarship_module):
+        refined = _refined(scholarship_module, activities={"RB", "SO"})
+        categorical = refined.categorical_predicates[0]
+        numerical = refined.numerical_predicates[0]
+        assert categorical.values == frozenset({"RB", "SO"})
+        assert numerical.constant == 3.7  # untouched
+
+    def test_apply_changes_numerical_constant(self, scholarship_module):
+        refined = _refined(scholarship_module, gpa=3.6)
+        assert refined.numerical_predicates[0].constant == 3.6
+
+    def test_empty_categorical_refinement_rejected(self):
+        with pytest.raises(RefinementError):
+            Refinement(categorical={"Activity": frozenset()})
+
+    def test_describe_lists_changes(self, scholarship_module):
+        refinement = Refinement(
+            numerical={("GPA", Operator.GREATER_EQUAL): 3.6},
+            categorical={"Activity": frozenset({"RB", "GD"})},
+        )
+        description = refinement.describe(scholarship_module)
+        assert "GPA" in description and "3.6" in description and "GD" in description
+
+    def test_describe_identity(self, scholarship_module):
+        assert Refinement().describe(scholarship_module) == "(no change)"
+
+
+class TestRefinementSpace:
+    def test_size_counts_numerical_times_categorical(self, students_db_module, scholarship_module):
+        annotated = annotate(scholarship_module, students_db_module)
+        space = RefinementSpace(scholarship_module, annotated)
+        gpa_candidates = len(space.numerical_candidates(("GPA", Operator.GREATER_EQUAL)))
+        activity_domain = len(space.categorical_domain("Activity"))
+        assert space.size() == gpa_candidates * (2 ** activity_domain - 1)
+
+    def test_enumeration_is_exhaustive_and_unique(self, students_db_module, scholarship_module):
+        annotated = annotate(scholarship_module, students_db_module)
+        space = RefinementSpace(scholarship_module, annotated)
+        refinements = list(space.enumerate())
+        assert len(refinements) == space.size()
+        signatures = {
+            (
+                tuple(sorted(r.numerical.items())),
+                tuple(sorted((a, tuple(sorted(v))) for a, v in r.categorical.items())),
+            )
+            for r in refinements
+        }
+        assert len(signatures) == len(refinements)
+
+    def test_enumeration_prefers_small_changes_first(self, students_db_module, scholarship_module):
+        annotated = annotate(scholarship_module, students_db_module)
+        space = RefinementSpace(scholarship_module, annotated)
+        first = next(iter(space.enumerate()))
+        # The very first candidate keeps the original categorical values.
+        assert first.categorical["Activity"] == frozenset({"RB"})
+
+
+class TestPredicateDistance:
+    def test_example_22_distances(self, scholarship_module):
+        """Example 2.2: DIS_pred(Q, Q') = 0.5 and DIS_pred(Q, Q'') ~ 0.527."""
+        distance = PredicateDistance()
+        q_prime = _refined(scholarship_module, activities={"RB", "SO"})
+        q_double_prime = _refined(scholarship_module, gpa=3.6, activities={"RB", "GD"})
+        assert distance.evaluate_queries(scholarship_module, q_prime) == pytest.approx(0.5)
+        assert distance.evaluate_queries(scholarship_module, q_double_prime) == pytest.approx(
+            (3.7 - 3.6) / 3.7 + 0.5, abs=1e-9
+        )
+
+    def test_identity_refinement_has_zero_distance(self, scholarship_module):
+        distance = PredicateDistance()
+        assert distance.evaluate_queries(scholarship_module, scholarship_module) == 0.0
+
+    def test_distance_grows_with_larger_constant_change(self, scholarship_module):
+        distance = PredicateDistance()
+        small = _refined(scholarship_module, gpa=3.6)
+        large = _refined(scholarship_module, gpa=3.5)
+        assert distance.evaluate_queries(scholarship_module, small) < distance.evaluate_queries(
+            scholarship_module, large
+        )
+
+    def test_dropping_a_predicate_raises(self, scholarship_module):
+        distance = PredicateDistance()
+        broken = scholarship_module.with_where(
+            Conjunction([NumericalPredicate("GPA", ">=", 3.7)])
+        )
+        with pytest.raises(RefinementError):
+            distance.evaluate_queries(scholarship_module, broken)
+
+
+class TestOutcomeDistances:
+    def test_example_23_jaccard_at_top3(self, executor, scholarship_module):
+        """Example 2.3: DIS_Jaccard(Q,Q',3) = 0.8 and DIS_Jaccard(Q,Q'',3) = 0.5."""
+        distance = JaccardDistance()
+        original = executor.evaluate(scholarship_module)
+        q_prime = _refined(scholarship_module, activities={"RB", "SO"})
+        q_double_prime = _refined(scholarship_module, gpa=3.6, activities={"RB", "GD"})
+        value_prime = distance.evaluate(
+            scholarship_module, q_prime, original, executor.evaluate(q_prime), 3
+        )
+        value_double_prime = distance.evaluate(
+            scholarship_module, q_double_prime, original, executor.evaluate(q_double_prime), 3
+        )
+        assert value_prime == pytest.approx(0.8)
+        assert value_double_prime == pytest.approx(0.5)
+
+    def test_jaccard_zero_for_identity(self, executor, scholarship_module):
+        distance = JaccardDistance()
+        original = executor.evaluate(scholarship_module)
+        assert distance.evaluate(
+            scholarship_module, scholarship_module, original, original, 6
+        ) == pytest.approx(0.0)
+
+    def test_example_24_kendall_prefers_q_triple_prime(self, executor, scholarship_module):
+        """Example 2.4: Q''' (MO-style) is closer than Q'' under Kendall at top-3."""
+        distance = KendallDistance()
+        original = executor.evaluate(scholarship_module)
+        q_double_prime = _refined(scholarship_module, gpa=3.6, activities={"RB", "GD"})
+        q_triple_prime = _refined(scholarship_module, gpa=3.6, activities={"RB", "MO"})
+        value_double = distance.evaluate(
+            scholarship_module, q_double_prime, original, executor.evaluate(q_double_prime), 3
+        )
+        value_triple = distance.evaluate(
+            scholarship_module, q_triple_prime, original, executor.evaluate(q_triple_prime), 3
+        )
+        assert value_triple < value_double
+
+    def test_kendall_zero_for_identity(self, executor, scholarship_module):
+        distance = KendallDistance()
+        original = executor.evaluate(scholarship_module)
+        assert distance.evaluate(
+            scholarship_module, scholarship_module, original, original, 6
+        ) == pytest.approx(0.0)
+
+
+class TestDistanceRegistry:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("pred", PredicateDistance),
+            ("QD", PredicateDistance),
+            ("jaccard", JaccardDistance),
+            ("JAC", JaccardDistance),
+            ("kendall", KendallDistance),
+            ("KEN", KendallDistance),
+        ],
+    )
+    def test_lookup_by_name(self, name, expected):
+        assert isinstance(get_distance(name), expected)
+
+    def test_instances_pass_through(self):
+        measure = JaccardDistance()
+        assert get_distance(measure) is measure
+
+    def test_unknown_distance(self):
+        with pytest.raises(RefinementError):
+            get_distance("euclidean")
+
+
+# -- property-based tests ------------------------------------------------------------
+
+_activity_sets = st.sets(st.sampled_from(["RB", "SO", "MO", "GD", "TU"]), min_size=1)
+
+
+@given(values=_activity_sets, gpa=st.sampled_from([3.5, 3.6, 3.7, 3.8, 3.9, 4.0]))
+def test_property_predicate_distance_is_nonnegative_and_zero_only_for_identity(values, gpa):
+    from repro.datasets import scholarship_query
+
+    query = scholarship_query()
+    distance = PredicateDistance()
+    refined = Refinement(
+        numerical={("GPA", Operator.GREATER_EQUAL): gpa},
+        categorical={"Activity": frozenset(values)},
+    ).apply(query)
+    value = distance.evaluate_queries(query, refined)
+    assert value >= 0.0
+    if gpa == 3.7 and values == {"RB"}:
+        assert value == pytest.approx(0.0)
+    if gpa != 3.7 or values != {"RB"}:
+        assert value > 0.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(values=_activity_sets, gpa=st.sampled_from([3.5, 3.6, 3.7, 3.8, 3.9, 4.0]), k=st.integers(1, 7))
+def test_property_jaccard_outcome_distance_is_within_unit_interval(values, gpa, k):
+    from repro.datasets import scholarship_query, students_database
+
+    query = scholarship_query()
+    executor = QueryExecutor(students_database())
+    original = executor.evaluate(query)
+    refined_query = Refinement(
+        numerical={("GPA", Operator.GREATER_EQUAL): gpa},
+        categorical={"Activity": frozenset(values)},
+    ).apply(query)
+    refined = executor.evaluate(refined_query)
+    value = JaccardDistance().evaluate(query, refined_query, original, refined, k)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(values=_activity_sets, gpa=st.sampled_from([3.5, 3.6, 3.7, 3.8, 3.9, 4.0]), k=st.integers(1, 7))
+def test_property_kendall_counts_are_nonnegative_and_bounded(values, gpa, k):
+    """Kendall Cases 2+3 counts are at most k * k (every pair discordant)."""
+    from repro.datasets import scholarship_query, students_database
+
+    query = scholarship_query()
+    executor = QueryExecutor(students_database())
+    original = executor.evaluate(query)
+    refined_query = Refinement(
+        numerical={("GPA", Operator.GREATER_EQUAL): gpa},
+        categorical={"Activity": frozenset(values)},
+    ).apply(query)
+    refined = executor.evaluate(refined_query)
+    value = KendallDistance().evaluate(query, refined_query, original, refined, k)
+    assert 0.0 <= value <= k * 2 * k

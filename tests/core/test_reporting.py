@@ -1,0 +1,97 @@
+"""Tests for the reporting helpers (distance comparison and result reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    RefinementSolver,
+    at_least,
+    compare_distances,
+    refinement_report,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    from repro.datasets import scholarship_query, students_database
+    from repro.core import at_most
+
+    database = students_database()
+    query = scholarship_query()
+    constraints = ConstraintSet([at_least(3, 6, Gender="F"), at_most(1, 3, Income="High")])
+    return compare_distances(
+        database, query, constraints, epsilon=0.0, distances=("pred", "jaccard", "kendall")
+    ), query
+
+
+class TestCompareDistances:
+    def test_one_row_per_distance(self, comparison):
+        report, _ = comparison
+        assert [row.distance_code for row in report.rows] == ["QD", "JAC", "KEN"]
+        assert set(report.results) == {"QD", "JAC", "KEN"}
+
+    def test_all_rows_feasible_on_running_example(self, comparison):
+        report, _ = comparison
+        assert all(row.feasible for row in report.rows)
+        assert all(row.deviation == pytest.approx(0.0) for row in report.rows)
+
+    def test_overlap_is_reported_out_of_k_star(self, comparison):
+        report, _ = comparison
+        for row in report.rows:
+            assert 0 <= row.top_k_overlap <= 6
+        jaccard_row = next(row for row in report.rows if row.distance_code == "JAC")
+        predicate_row = next(row for row in report.rows if row.distance_code == "QD")
+        # Optimising the output overlap can only keep at least as many items.
+        assert jaccard_row.top_k_overlap >= predicate_row.top_k_overlap
+
+    def test_best_returns_smallest_distance(self, comparison):
+        report, _ = comparison
+        best = report.best()
+        assert best is not None
+        assert best.distance_value == min(
+            row.distance_value for row in report.rows if row.feasible
+        )
+
+    def test_text_and_markdown_renderings(self, comparison):
+        report, _ = comparison
+        text = report.to_text()
+        markdown = report.to_markdown()
+        assert "QD" in text and "JAC" in text and "KEN" in text
+        assert markdown.startswith("| distance |")
+        assert markdown.count("\n") >= 4
+
+    def test_infeasible_comparison_has_no_best(self):
+        from repro.datasets import scholarship_query, students_database
+
+        database = students_database()
+        query = scholarship_query()
+        constraints = ConstraintSet(
+            [at_least(6, 6, Gender="F"), at_least(6, 6, Gender="M")]
+        )
+        report = compare_distances(
+            database, query, constraints, epsilon=0.0, distances=("pred",)
+        )
+        assert report.best() is None
+        assert "infeasible" in report.to_text()
+
+
+class TestRefinementReport:
+    def test_feasible_report_contains_sql_and_counts(self, students_db, scholarship, scholarship_constraints):
+        result = RefinementSolver(
+            students_db, scholarship, scholarship_constraints, epsilon=0.0
+        ).solve()
+        text = refinement_report(result, scholarship, top=6)
+        assert "refined query:" in text
+        assert "l[Gender=F,k=6]=3" in text
+        assert "SELECT DISTINCT" in text
+        assert "  6." in text  # six ranked rows are listed
+
+    def test_infeasible_report(self, students_db, scholarship):
+        constraints = ConstraintSet(
+            [at_least(6, 6, Gender="F"), at_least(6, 6, Gender="M")]
+        )
+        result = RefinementSolver(students_db, scholarship, constraints, epsilon=0.0).solve()
+        text = refinement_report(result, scholarship)
+        assert "no refinement" in text

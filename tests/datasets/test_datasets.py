@@ -1,0 +1,227 @@
+"""Tests for the dataset generators and the mini-SDV synthesizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    TableSynthesizer,
+    astronauts_database,
+    astronauts_query,
+    law_students_database,
+    law_students_query,
+    load_dataset,
+    meps_database,
+    meps_query,
+    scale_database,
+    students_database,
+    tpch_database,
+    tpch_q5,
+)
+from repro.datasets.registry import DATASET_BUILDERS
+from repro.exceptions import DatasetError
+from repro.provenance import annotate
+from repro.relational import QueryExecutor
+
+
+class TestStudents:
+    def test_table_sizes_match_paper(self):
+        database = students_database()
+        assert len(database.relation("Students")) == 14
+        assert len(database.relation("Activities")) == 14
+
+    def test_table1_values(self):
+        students = students_database().relation("Students")
+        first = students.row_as_dict(0)
+        assert first == {"ID": "t1", "Gender": "M", "Income": "Medium", "GPA": 3.7, "SAT": 1590}
+        last = students.row_as_dict(13)
+        assert last["ID"] == "t14" and last["SAT"] == 1410
+
+
+class TestAstronauts:
+    def test_row_count_and_domain_sizes(self):
+        database = astronauts_database()
+        astronauts = database.relation("Astronauts")
+        assert len(astronauts) == 357
+        majors = astronauts.domain("Graduate Major")
+        assert 100 <= len(majors) <= 114
+        assert "Physics" in majors
+
+    def test_gender_share_is_roughly_calibrated(self):
+        astronauts = astronauts_database(seed=7).relation("Astronauts")
+        female = astronauts.count_where(lambda row: row["Gender"] == "F")
+        assert 0.08 <= female / len(astronauts) <= 0.25
+
+    def test_query_returns_physicists_with_walk_range(self):
+        database = astronauts_database()
+        result = QueryExecutor(database).evaluate(astronauts_query())
+        assert len(result) > 0
+        for row in result.relation.iter_dicts():
+            assert row["Graduate Major"] == "Physics"
+            assert 1 <= row["Space Walks"] <= 3
+
+    def test_determinism_per_seed(self):
+        first = astronauts_database(seed=3).relation("Astronauts").rows
+        second = astronauts_database(seed=3).relation("Astronauts").rows
+        assert first == second
+        different = astronauts_database(seed=4).relation("Astronauts").rows
+        assert first != different
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            astronauts_database(num_rows=0)
+        with pytest.raises(DatasetError):
+            astronauts_database(female_share=1.5)
+
+
+class TestLawStudents:
+    def test_row_count_and_groups(self):
+        database = law_students_database(num_rows=2000, seed=11)
+        students = database.relation("LawStudents")
+        assert len(students) == 2000
+        races = set(students.domain("Race"))
+        assert {"White", "Black", "Asian"} <= races
+        female_share = students.count_where(lambda r: r["Sex"] == "F") / 2000
+        assert 0.35 <= female_share <= 0.55
+
+    def test_query_selects_gl_region_with_gpa_window(self):
+        database = law_students_database(num_rows=1000, seed=11)
+        result = QueryExecutor(database).evaluate(law_students_query())
+        assert len(result) > 0
+        for row in result.relation.iter_dicts():
+            assert row["Region"] == "GL"
+            assert 3.5 <= row["GPA"] <= 4.0
+
+    def test_lineage_class_count_matches_paper_order_of_magnitude(self):
+        database = law_students_database(num_rows=21_790, seed=11)
+        annotated = annotate(law_students_query(), database)
+        # The paper reports roughly 240-290 lineage classes for Law Students.
+        assert 100 <= annotated.num_lineage_classes <= 400
+
+
+class TestMEPS:
+    def test_row_count_and_utilization_definition(self):
+        database = meps_database(num_rows=1500, seed=13)
+        meps = database.relation("MEPS")
+        assert len(meps) == 1500
+        for row in list(meps.iter_dicts())[:200]:
+            expected = (
+                row["OfficeVisits"]
+                + row["ERVisits"]
+                + row["InpatientNights"]
+                + row["HomeHealthVisits"]
+            )
+            assert row["Utilization"] == pytest.approx(expected)
+
+    def test_query_filters_age_and_family_size(self):
+        database = meps_database(num_rows=1500, seed=13)
+        result = QueryExecutor(database).evaluate(meps_query())
+        assert len(result) > 0
+        for row in result.relation.iter_dicts():
+            assert row["Age"] > 22 and row["Family Size"] >= 4
+
+
+class TestTPCH:
+    def test_schema_and_scaling(self):
+        database = tpch_database(scale_factor=0.2, seed=17)
+        assert {"Region", "Nation", "Customer", "Orders", "Lineitem", "Supplier"} <= set(
+            database.names
+        )
+        assert len(database.relation("Region")) == 5
+        assert len(database.relation("Nation")) == 25
+        bigger = tpch_database(scale_factor=0.4, seed=17)
+        assert len(bigger.relation("Orders")) == 2 * len(database.relation("Orders"))
+
+    def test_q5_joins_and_filters_asia(self):
+        database = tpch_database(scale_factor=0.1, seed=17)
+        result = QueryExecutor(database).evaluate(tpch_q5())
+        assert len(result) > 0
+        for row in result.relation.iter_dicts():
+            assert row["Region"] == "ASIA"
+
+    def test_q5_has_exactly_five_lineage_classes(self):
+        """The paper highlights that Q5 yields only 5 lineage equivalence classes."""
+        database = tpch_database(scale_factor=0.1, seed=17)
+        annotated = annotate(tpch_q5(), database)
+        assert annotated.num_lineage_classes == 5
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(DatasetError):
+            tpch_database(scale_factor=0)
+
+
+class TestRegistry:
+    def test_all_bundles_evaluate(self):
+        for name in DATASET_BUILDERS:
+            parameters = {}
+            if name in ("law_students", "meps"):
+                parameters["num_rows"] = 300
+            if name == "tpch":
+                parameters["scale_factor"] = 0.05
+            bundle = load_dataset(name, **parameters)
+            result = QueryExecutor(bundle.database).evaluate(bundle.query)
+            assert len(result) > 0, name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imdb")
+
+
+class TestSynthesizer:
+    def test_sample_preserves_schema_and_size(self):
+        relation = law_students_database(num_rows=400, seed=1).relation("LawStudents")
+        synthesizer = TableSynthesizer(relation, identifier="ID", seed=0)
+        sampled = synthesizer.sample(900)
+        assert len(sampled) == 900
+        assert sampled.schema == relation.schema
+
+    def test_identifier_column_stays_unique(self):
+        relation = law_students_database(num_rows=300, seed=1).relation("LawStudents")
+        sampled = TableSynthesizer(relation, identifier="ID", seed=0).sample(600)
+        ids = sampled.column("ID")
+        assert len(set(ids)) == 600
+
+    def test_categorical_marginals_are_roughly_preserved(self):
+        relation = law_students_database(num_rows=3000, seed=1).relation("LawStudents")
+        sampled = TableSynthesizer(relation, identifier="ID", seed=0).sample(3000)
+        original_share = relation.count_where(lambda r: r["Sex"] == "F") / len(relation)
+        sampled_share = sampled.count_where(lambda r: r["Sex"] == "F") / len(sampled)
+        assert abs(original_share - sampled_share) < 0.08
+
+    def test_numerical_values_stay_within_observed_range(self):
+        relation = law_students_database(num_rows=500, seed=1).relation("LawStudents")
+        sampled = TableSynthesizer(relation, identifier="ID", seed=0).sample(1000)
+        low, high = relation.min_max("LSAT")
+        sampled_low, sampled_high = sampled.min_max("LSAT")
+        assert sampled_low >= low - 1e-9 and sampled_high <= high + 1e-9
+
+    def test_empty_relation_rejected(self):
+        from repro.relational import Relation, Schema
+        from repro.relational.schema import categorical
+
+        with pytest.raises(DatasetError):
+            TableSynthesizer(Relation("empty", Schema([categorical("a")]), []))
+
+    def test_scale_database_scales_selected_relations_only(self):
+        database = tpch_database(scale_factor=0.05, seed=17)
+        scaled = scale_database(
+            database, 2.0, identifiers={"Orders": "OrderKey"}, only=["Orders"], seed=1
+        )
+        assert len(scaled.relation("Orders")) == 2 * len(database.relation("Orders"))
+        assert len(scaled.relation("Region")) == len(database.relation("Region"))
+
+    def test_scale_database_rejects_nonpositive_factor(self):
+        database = students_database()
+        with pytest.raises(DatasetError):
+            scale_database(database, 0.0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(factor=st.floats(min_value=0.5, max_value=3.0), seed=st.integers(0, 20))
+def test_property_scaling_changes_row_counts_proportionally(factor, seed):
+    """Property: scale_database multiplies every relation's size by the factor."""
+    database = law_students_database(num_rows=200, seed=3)
+    scaled = scale_database(database, factor, identifiers={"LawStudents": "ID"}, seed=seed)
+    expected = int(round(200 * factor))
+    assert len(scaled.relation("LawStudents")) == expected

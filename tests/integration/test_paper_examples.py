@@ -1,0 +1,204 @@
+"""Integration tests reproducing the worked examples and theorems of the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    PredicateDistance,
+    RefinementSolver,
+    at_least,
+    at_most,
+)
+from repro.relational import (
+    CategoricalPredicate,
+    Conjunction,
+    Database,
+    NumericalPredicate,
+    OrderBy,
+    QueryExecutor,
+    Relation,
+    Schema,
+    SPJQuery,
+)
+from repro.relational.schema import categorical, numerical
+
+
+class TestRunningExampleEndToEnd:
+    """Examples 1.1-1.3 and 2.2-2.4, solved through the full pipeline."""
+
+    def test_original_query_violates_both_constraints(
+        self, students_db, scholarship, scholarship_constraints
+    ):
+        result = QueryExecutor(students_db).evaluate(scholarship)
+        assert not scholarship_constraints.is_satisfied(result)
+
+    def test_example_12_is_found_under_predicate_distance(
+        self, students_db, scholarship, scholarship_constraints
+    ):
+        solution = RefinementSolver(
+            students_db, scholarship, scholarship_constraints, epsilon=0.0, distance="pred"
+        ).solve()
+        assert solution.feasible
+        # The optimal refinement is the one from Example 1.2: add 'SO'.
+        assert solution.refinement.categorical["Activity"] == frozenset({"RB", "SO"})
+        assert solution.distance_value == pytest.approx(0.5)
+        # Its output satisfies both constraints: 3 women in the top-6, at most
+        # one high-income student in the top-3.
+        assert solution.constraint_counts["l[Gender=F,k=6]=3"] == 3
+        assert solution.constraint_counts["u[Income=High,k=3]=1"] <= 1
+
+    def test_example_13_is_dominated_under_predicate_distance(
+        self, students_db, scholarship
+    ):
+        """DIS_pred(Q, Q'') ~ 0.527 > 0.5 = DIS_pred(Q, Q'), as Example 2.2 computes."""
+        distance = PredicateDistance()
+        q_prime = scholarship.with_where(
+            Conjunction(
+                [
+                    NumericalPredicate("GPA", ">=", 3.7),
+                    CategoricalPredicate("Activity", {"RB", "SO"}),
+                ]
+            )
+        )
+        q_double_prime = scholarship.with_where(
+            Conjunction(
+                [
+                    NumericalPredicate("GPA", ">=", 3.6),
+                    CategoricalPredicate("Activity", {"RB", "GD"}),
+                ]
+            )
+        )
+        assert distance.evaluate_queries(scholarship, q_prime) < distance.evaluate_queries(
+            scholarship, q_double_prime
+        )
+
+    def test_outcome_based_solution_satisfies_constraints_with_more_overlap(
+        self, students_db, scholarship, scholarship_constraints
+    ):
+        """Under DIS_Jaccard the solver keeps at least 5 of the original top-6."""
+        solution = RefinementSolver(
+            students_db, scholarship, scholarship_constraints, epsilon=0.0, distance="jaccard"
+        ).solve()
+        original = QueryExecutor(students_db).evaluate(scholarship)
+        original_top6 = set(original.top_k_keys(6))
+        refined_top6 = set(solution.refined_result.top_k_keys(6))
+        assert len(original_top6 & refined_top6) >= 5
+        assert solution.deviation == pytest.approx(0.0)
+
+
+class TestTheorem25Instance:
+    """The Table 3 instance proving that exact satisfaction may be impossible."""
+
+    @pytest.fixture()
+    def table3(self):
+        schema = Schema([categorical("X"), categorical("Y"), numerical("Z")])
+        rows = [
+            ("A", "C", 6),
+            ("A", "D", 5),
+            ("A", "D", 4),
+            ("B", "C", 3),
+            ("A", "C", 2),
+            ("B", "D", 1),
+        ]
+        return Database([Relation("Table3", schema, rows)])
+
+    @pytest.fixture()
+    def table3_query(self):
+        return SPJQuery(
+            tables=["Table3"],
+            where=Conjunction([CategoricalPredicate("Y", {"C", "D"})]),
+            order_by=OrderBy("Z", descending=True),
+            name="theorem25",
+        )
+
+    def test_no_refinement_satisfies_the_constraint_exactly(self, table3, table3_query):
+        """l_{X=B, k=3} = 2 cannot be met by any refinement (Theorem 2.5)."""
+        constraints = ConstraintSet([at_least(2, 3, X="B")])
+        result = RefinementSolver(
+            table3, table3_query, constraints, epsilon=0.0, distance="pred"
+        ).solve()
+        assert not result.feasible
+
+    def test_best_approximation_is_returned_with_slack(self, table3, table3_query):
+        """With eps = 0.5 the solver returns a refinement with one B tuple in the top-3."""
+        constraints = ConstraintSet([at_least(2, 3, X="B")])
+        result = RefinementSolver(
+            table3, table3_query, constraints, epsilon=0.5, distance="pred"
+        ).solve()
+        assert result.feasible
+        assert result.deviation == pytest.approx(0.5)
+        refined = QueryExecutor(table3).evaluate(result.refined_query)
+        b_in_top3 = refined.count_in_top_k(3, lambda row: row["X"] == "B")
+        assert b_in_top3 == 1
+
+    def test_original_query_has_no_b_in_top3(self, table3, table3_query):
+        result = QueryExecutor(table3).evaluate(table3_query)
+        assert result.count_in_top_k(3, lambda row: row["X"] == "B") == 0
+
+
+class TestCrossDatasetSmoke:
+    """End-to-end solves on small instances of every benchmark dataset."""
+
+    @pytest.mark.parametrize(
+        "name,parameters,constraint",
+        [
+            ("astronauts", {"num_rows": 200}, {"Gender": "F"}),
+            ("law_students", {"num_rows": 800}, {"Sex": "F"}),
+            ("meps", {"num_rows": 800}, {"Sex": "F"}),
+            ("tpch", {"scale_factor": 0.05}, {"MktSegment": "BUILDING"}),
+        ],
+    )
+    def test_milp_opt_finds_acceptable_refinement(self, name, parameters, constraint):
+        from repro.datasets import load_dataset
+
+        bundle = load_dataset(name, **parameters)
+        constraints = ConstraintSet(
+            [at_least(3, 10, **constraint)]
+        )
+        result = RefinementSolver(
+            bundle.database, bundle.query, constraints, epsilon=0.5, distance="pred",
+            method="milp+opt",
+        ).solve()
+        assert result.feasible
+        assert result.deviation <= 0.5 + 1e-9
+        # The refined query must still be executable and return at least k* rows.
+        refined = QueryExecutor(bundle.database).evaluate(result.refined_query)
+        assert len(refined) >= 10
+
+    def test_milp_and_milp_opt_agree_on_law_students(self):
+        from repro.datasets import load_dataset
+
+        bundle = load_dataset("law_students", num_rows=600)
+        constraints = ConstraintSet([at_least(5, 10, Sex="F")])
+        optimized = RefinementSolver(
+            bundle.database, bundle.query, constraints, epsilon=0.5, method="milp+opt"
+        ).solve()
+        unoptimized = RefinementSolver(
+            bundle.database, bundle.query, constraints, epsilon=0.5, method="milp"
+        ).solve()
+        assert optimized.feasible and unoptimized.feasible
+        assert optimized.distance_value == pytest.approx(
+            unoptimized.distance_value, abs=1e-6
+        )
+
+    def test_optimized_model_is_smaller(self):
+        from repro.datasets import load_dataset
+
+        bundle = load_dataset("law_students", num_rows=1200)
+        constraints = ConstraintSet([at_least(5, 10, Sex="F")])
+        optimized = RefinementSolver(
+            bundle.database, bundle.query, constraints, epsilon=0.5, method="milp+opt"
+        ).solve()
+        unoptimized = RefinementSolver(
+            bundle.database, bundle.query, constraints, epsilon=0.5, method="milp"
+        ).solve()
+        assert (
+            optimized.model_statistics["variables"]
+            < unoptimized.model_statistics["variables"]
+        )
+        assert (
+            optimized.model_statistics["constraints"]
+            < unoptimized.model_statistics["constraints"]
+        )

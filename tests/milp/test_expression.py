@@ -1,0 +1,157 @@
+"""Unit tests for the MILP expression layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ModelError
+from repro.milp import LinearExpression, Variable, VariableKind, linear_sum
+from repro.milp.constraint import ConstraintSense, LinearConstraint
+
+
+def test_variable_defaults_to_continuous_nonnegative():
+    x = Variable("x")
+    assert x.kind is VariableKind.CONTINUOUS
+    assert x.lower == 0.0
+    assert x.upper is None
+    assert not x.is_integral
+
+
+def test_binary_variable_is_clamped_to_unit_interval():
+    x = Variable("x", lower=-5, upper=10, kind=VariableKind.BINARY)
+    assert (x.lower, x.upper) == (0.0, 1.0)
+    assert x.is_integral
+
+
+def test_variable_rejects_empty_name():
+    with pytest.raises(ModelError):
+        Variable("")
+
+
+def test_variable_rejects_inverted_bounds():
+    with pytest.raises(ModelError):
+        Variable("x", lower=3, upper=1)
+
+
+def test_expression_addition_merges_terms():
+    x, y = Variable("x"), Variable("y")
+    expression = 2 * x + 3 * y + x + 1
+    assert expression.coefficient(x) == pytest.approx(3.0)
+    assert expression.coefficient(y) == pytest.approx(3.0)
+    assert expression.constant == pytest.approx(1.0)
+
+
+def test_expression_subtraction_and_negation():
+    x, y = Variable("x"), Variable("y")
+    expression = (x - y) - 2
+    assert expression.coefficient(x) == pytest.approx(1.0)
+    assert expression.coefficient(y) == pytest.approx(-1.0)
+    assert expression.constant == pytest.approx(-2.0)
+    negated = -expression
+    assert negated.coefficient(x) == pytest.approx(-1.0)
+    assert negated.constant == pytest.approx(2.0)
+
+
+def test_expression_scalar_multiplication_and_division():
+    x = Variable("x")
+    expression = (4 * x + 2) / 2
+    assert expression.coefficient(x) == pytest.approx(2.0)
+    assert expression.constant == pytest.approx(1.0)
+
+
+def test_zero_coefficients_are_dropped():
+    x = Variable("x")
+    expression = x - x
+    assert expression.is_constant()
+    assert expression.variables == []
+
+
+def test_multiplying_two_variables_is_rejected():
+    x, y = Variable("x"), Variable("y")
+    with pytest.raises(ModelError):
+        _ = x.to_expression() * y
+
+
+def test_dividing_by_a_variable_is_rejected():
+    x, y = Variable("x"), Variable("y")
+    with pytest.raises(ModelError):
+        _ = x.to_expression() / y
+
+
+def test_expression_evaluate_with_missing_variables_defaults_to_zero():
+    x, y = Variable("x"), Variable("y")
+    expression = 2 * x + 5 * y + 1
+    assert expression.evaluate({x: 3}) == pytest.approx(7.0)
+
+
+def test_comparison_operators_build_constraints():
+    x = Variable("x")
+    le = x <= 5
+    ge = x >= 2
+    eq = x.to_expression() == 3
+    assert isinstance(le, LinearConstraint) and le.sense is ConstraintSense.LESS_EQUAL
+    assert isinstance(ge, LinearConstraint) and ge.sense is ConstraintSense.GREATER_EQUAL
+    assert isinstance(eq, LinearConstraint) and eq.sense is ConstraintSense.EQUAL
+    assert le.rhs == pytest.approx(5.0)
+    assert ge.rhs == pytest.approx(2.0)
+
+
+def test_constraint_is_satisfied():
+    x = Variable("x")
+    constraint = 2 * x <= 10
+    assert constraint.is_satisfied({x: 5.0})
+    assert not constraint.is_satisfied({x: 5.1})
+
+
+def test_trivially_infeasible_constant_constraint_is_rejected():
+    with pytest.raises(ModelError):
+        LinearConstraint(LinearExpression({}, 1.0), ConstraintSense.LESS_EQUAL)
+
+
+def test_linear_sum_matches_builtin_sum():
+    variables = [Variable(f"x{i}") for i in range(5)]
+    fast = linear_sum(variables)
+    slow = sum((v for v in variables), LinearExpression())
+    assert fast.terms == slow.terms
+    assert fast.constant == slow.constant
+
+
+def test_linear_sum_accepts_numbers_and_expressions():
+    x = Variable("x")
+    expression = linear_sum([x, 2 * x, 3, LinearExpression({}, 1.0)])
+    assert expression.coefficient(x) == pytest.approx(3.0)
+    assert expression.constant == pytest.approx(4.0)
+
+
+def test_linear_sum_rejects_unknown_types():
+    with pytest.raises(ModelError):
+        linear_sum(["not-a-term"])
+
+
+@given(
+    coefficients=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=8
+    ),
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=8, max_size=8
+    ),
+)
+def test_evaluate_is_linear_in_each_variable(coefficients, values):
+    """Property: evaluating a linear combination equals the dot product."""
+    variables = [Variable(f"v{i}") for i in range(len(coefficients))]
+    expression = linear_sum(c * v for c, v in zip(coefficients, variables))
+    assignment = {v: values[i] for i, v in enumerate(variables)}
+    expected = sum(c * values[i] for i, c in enumerate(coefficients))
+    assert expression.evaluate(assignment) == pytest.approx(expected, abs=1e-6)
+
+
+@given(scale=st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_scalar_multiplication_distributes_over_evaluation(scale):
+    """Property: (scale * expr)(x) == scale * expr(x)."""
+    x, y = Variable("x"), Variable("y")
+    expression = 3 * x - 2 * y + 7
+    assignment = {x: 1.5, y: -2.5}
+    assert (expression * scale).evaluate(assignment) == pytest.approx(
+        scale * expression.evaluate(assignment), abs=1e-6
+    )

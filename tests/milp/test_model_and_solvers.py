@@ -1,0 +1,229 @@
+"""Tests for the MILP model container and both solver backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError, SolverError
+from repro.milp import Model, SolveStatus, available_solvers, get_solver
+from repro.milp.solvers import BranchAndBoundSolver, ScipySolver
+
+BACKENDS = ["scipy", "branch_and_bound"]
+
+
+def knapsack_model(values, weights, capacity):
+    """A small 0/1 knapsack used to exercise both backends."""
+    model = Model("knapsack")
+    items = [model.binary_var(f"item{i}") for i in range(len(values))]
+    model.add_constraint(
+        sum(w * x for w, x in zip(weights, items)) <= capacity, name="capacity"
+    )
+    model.maximize(sum(v * x for v, x in zip(values, items)))
+    return model, items
+
+
+class TestModel:
+    def test_duplicate_variable_names_rejected(self):
+        model = Model()
+        model.binary_var("x")
+        with pytest.raises(ModelError):
+            model.binary_var("x")
+
+    def test_constraint_with_unregistered_variable_rejected(self):
+        model = Model()
+        other = Model()
+        x = other.binary_var("x")
+        with pytest.raises(ModelError):
+            model.add_constraint(x <= 1)
+
+    def test_add_constraint_requires_constraint_object(self):
+        model = Model()
+        model.binary_var("x")
+        with pytest.raises(ModelError):
+            model.add_constraint("x <= 1")  # type: ignore[arg-type]
+
+    def test_summary_counts(self):
+        model = Model()
+        x = model.binary_var("x")
+        y = model.continuous_var("y", upper=4)
+        model.add_constraint(x + y <= 3)
+        summary = model.summary()
+        assert summary == {"variables": 2, "binary_variables": 1, "constraints": 1}
+
+    def test_standard_form_shapes_and_integrality(self):
+        model = Model()
+        x = model.binary_var("x")
+        y = model.continuous_var("y", lower=1, upper=9)
+        model.add_constraint(x + 2 * y <= 10)
+        model.add_constraint(x + y >= 1)
+        model.add_constraint(y.to_expression() == 3)
+        model.minimize(x + y)
+        form = model.to_standard_form()
+        assert form.a_ub.shape == (2, 2)
+        assert form.a_eq.shape == (1, 2)
+        assert list(form.integrality) == [1, 0]
+        assert form.lower[1] == pytest.approx(1.0)
+        assert form.upper[1] == pytest.approx(9.0)
+
+    def test_standard_form_negates_maximisation(self):
+        model = Model()
+        x = model.continuous_var("x", upper=1)
+        model.maximize(5 * x)
+        form = model.to_standard_form()
+        assert form.maximize is True
+        assert form.c[0] == pytest.approx(-5.0)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_simple_lp(self, backend):
+        model = Model()
+        x = model.continuous_var("x", upper=10)
+        y = model.continuous_var("y", upper=10)
+        model.add_constraint(x + y <= 12)
+        model.maximize(2 * x + 3 * y)
+        solution = model.solve(backend)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(2 * 2 + 3 * 10, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_knapsack_optimum(self, backend):
+        model, items = knapsack_model(
+            values=[10, 13, 18, 31, 7, 15], weights=[2, 3, 4, 5, 1, 4], capacity=10
+        )
+        solution = model.solve(backend)
+        assert solution.is_optimal
+        # Optimum packs items 2 (18/4), 3 (31/5) and 4 (7/1): weight 10, value 56.
+        assert solution.objective_value == pytest.approx(56.0)
+        chosen = {i for i, item in enumerate(items) if solution.value(item) > 0.5}
+        assert chosen == {2, 3, 4}
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible_model_reports_infeasible(self, backend):
+        model = Model()
+        x = model.binary_var("x")
+        model.add_constraint(x >= 1)
+        model.add_constraint(x <= 0)
+        model.minimize(x)
+        solution = model.solve(backend)
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert not solution.is_feasible
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_equality_constraints(self, backend):
+        model = Model()
+        x = model.integer_var("x", upper=10)
+        y = model.integer_var("y", upper=10)
+        model.add_constraint(x + y == 7)
+        model.add_constraint(x - y == 1)
+        model.minimize(x + y)
+        solution = model.solve(backend)
+        assert solution.is_optimal
+        assert solution.rounded(x) == 4
+        assert solution.rounded(y) == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_model_is_trivially_optimal(self, backend):
+        model = Model()
+        solution = model.solve(backend)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(0.0)
+
+    def test_backends_agree_on_integer_program(self):
+        model_a, _ = knapsack_model([4, 9, 3, 8, 6], [2, 4, 1, 3, 2], 6)
+        model_b, _ = knapsack_model([4, 9, 3, 8, 6], [2, 4, 1, 3, 2], 6)
+        scipy_solution = model_a.solve("scipy")
+        bnb_solution = model_b.solve("branch_and_bound")
+        assert scipy_solution.objective_value == pytest.approx(
+            bnb_solution.objective_value
+        )
+
+    def test_objective_constant_is_included(self):
+        model = Model()
+        x = model.continuous_var("x", upper=2)
+        model.minimize(x + 10)
+        solution = model.solve()
+        assert solution.objective_value == pytest.approx(10.0)
+
+    def test_value_of_expression(self):
+        model = Model()
+        x = model.continuous_var("x", upper=5)
+        model.maximize(x)
+        solution = model.solve()
+        assert solution.value(2 * x + 1) == pytest.approx(11.0)
+
+    def test_rounded_rejects_fractional_values(self):
+        model = Model()
+        x = model.continuous_var("x", upper=5)
+        model.maximize(x)
+        solution = model.solve()
+        with pytest.raises(ValueError):
+            # x is continuous at 5.0 -> rounding works; build a fake fractional case
+            fake = type(solution)(
+                status=solution.status,
+                objective_value=solution.objective_value,
+                values={x: 2.5},
+                solver_name="test",
+            )
+            fake.rounded(x)
+
+    def test_time_limit_is_accepted(self):
+        model, _ = knapsack_model([3, 5, 1], [2, 3, 1], 4)
+        solution = model.solve("scipy", time_limit=10.0)
+        assert solution.is_optimal
+
+
+class TestRegistry:
+    def test_available_solvers_contains_both(self):
+        names = available_solvers()
+        assert "branch_and_bound" in names
+        assert "scipy" in names  # SciPy in this environment exposes milp
+
+    def test_get_solver_auto(self):
+        assert isinstance(get_solver("auto"), ScipySolver)
+
+    def test_get_solver_aliases(self):
+        assert isinstance(get_solver("bnb"), BranchAndBoundSolver)
+        assert isinstance(get_solver("highs"), ScipySolver)
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(SolverError):
+            get_solver("gurobi")
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    values=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=7),
+    weights=st.lists(st.integers(min_value=1, max_value=10), min_size=7, max_size=7),
+    capacity=st.integers(min_value=1, max_value=25),
+)
+def test_property_backends_agree_on_random_knapsacks(values, weights, capacity):
+    """Property: HiGHS and the pure-Python branch & bound find equal optima."""
+    weights = weights[: len(values)]
+    model_a, _ = knapsack_model(values, weights, capacity)
+    model_b, _ = knapsack_model(values, weights, capacity)
+    solution_a = model_a.solve("scipy")
+    solution_b = model_b.solve("branch_and_bound")
+    assert solution_a.is_optimal and solution_b.is_optimal
+    assert solution_a.objective_value == pytest.approx(solution_b.objective_value)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=6),
+    weights=st.lists(st.integers(min_value=1, max_value=8), min_size=6, max_size=6),
+    capacity=st.integers(min_value=0, max_value=20),
+)
+def test_property_milp_matches_bruteforce_knapsack(values, weights, capacity):
+    """Property: the MILP optimum equals the brute-force knapsack optimum."""
+    weights = weights[: len(values)]
+    best = 0
+    for mask in range(2 ** len(values)):
+        chosen = [i for i in range(len(values)) if mask >> i & 1]
+        if sum(weights[i] for i in chosen) <= capacity:
+            best = max(best, sum(values[i] for i in chosen))
+    model, _ = knapsack_model(values, weights, capacity)
+    solution = model.solve("scipy")
+    assert solution.objective_value == pytest.approx(best)

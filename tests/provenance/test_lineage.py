@@ -1,0 +1,153 @@
+"""Tests for the provenance/lineage annotation layer (Section 3.1, Table 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import law_students_database, law_students_query
+from repro.provenance import CategoricalAtom, NumericalAtom, annotate
+from repro.provenance.lineage import AnnotatedDatabase
+from repro.relational import Operator
+
+
+class TestRunningExampleAnnotations:
+    """The annotated ~Q(D) of the scholarship query is Table 5 of the paper."""
+
+    @pytest.fixture(scope="class")
+    def annotated(self, request):
+        db = request.getfixturevalue("students_db")
+        query = request.getfixturevalue("scholarship")
+        return annotate(query, db)
+
+    def test_size_of_unfiltered_output(self, annotated):
+        assert len(annotated) == 14  # Table 5 has 14 rows (t9 and t13 have no activity)
+
+    def test_lineage_of_t6(self, annotated):
+        """Example 3.3: Lineage(t6) = {Activity_SO, GPA_{3.7,>=}}."""
+        t6 = next(t for t in annotated.tuples if t.values["ID"] == "t6")
+        assert t6.lineage == frozenset(
+            {
+                CategoricalAtom("Activity", "SO"),
+                NumericalAtom("GPA", Operator.GREATER_EQUAL, 3.7),
+            }
+        )
+
+    def test_duplicates_of_t4(self, annotated):
+        """S(t4') = {t4}: the TU row of student t4 ranks after their RB row."""
+        t4_rows = [t for t in annotated.tuples if t.values["ID"] == "t4"]
+        assert len(t4_rows) == 2
+        first, second = sorted(t4_rows, key=lambda t: t.position)
+        assert annotated.duplicates_before(first.position) == []
+        assert annotated.duplicates_before(second.position) == [first.position]
+
+    def test_categorical_domain_contains_all_activities(self, annotated):
+        assert set(annotated.categorical_domains["Activity"]) == {"RB", "SO", "MO", "GD", "TU"}
+
+    def test_numerical_domain_is_sorted_gpas(self, annotated):
+        domain = annotated.numeric_domain("GPA")
+        assert domain == sorted(domain)
+        assert 3.7 in domain and 3.6 in domain
+
+    def test_big_m_exceeds_every_value(self, annotated):
+        assert annotated.big_m("GPA") > max(annotated.numeric_domain("GPA"))
+
+    def test_smallest_gap_is_smaller_than_adjacent_difference(self, annotated):
+        domain = annotated.numeric_domain("GPA")
+        min_gap = min(b - a for a, b in zip(domain, domain[1:]))
+        assert 0 < annotated.smallest_gap("GPA") < min_gap
+
+    def test_lineage_classes_partition_positions(self, annotated):
+        all_positions = sorted(
+            position
+            for positions in annotated.lineage_classes.values()
+            for position in positions
+        )
+        assert all_positions == [t.position for t in annotated.tuples]
+
+    def test_example_41_lineage_class_of_t14(self, annotated):
+        """Example 4.1: [Lineage(t14)] = {t7, t10, t14}."""
+        t14 = next(t for t in annotated.tuples if t.values["ID"] == "t14")
+        classmates = annotated.lineage_classes[t14.lineage]
+        ids = {annotated.tuples_by_position(p).values["ID"] for p in classmates} if hasattr(
+            annotated, "tuples_by_position"
+        ) else {
+            t.values["ID"] for t in annotated.tuples if t.position in classmates
+        }
+        assert ids == {"t7", "t10", "t14"}
+
+    def test_tuples_in_group(self, annotated):
+        women = annotated.tuples_in_group(lambda values: values["Gender"] == "F")
+        assert {t.values["ID"] for t in women} == {"t2", "t3", "t5", "t6", "t8", "t11", "t14"}
+
+    def test_scores_are_nonincreasing(self, annotated):
+        scores = [t.score for t in annotated.tuples]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_relevant_prefix_keeps_top_of_each_class(self, annotated):
+        """Example 4.1: with k*=2, t14 is pruned (t7 and t10 precede it)."""
+        kept = annotated.relevant_prefix(2)
+        kept_ids = {t.values["ID"] for t in kept}
+        assert "t14" not in kept_ids
+        assert "t7" in kept_ids and "t10" in kept_ids
+
+
+class TestLawStudentsAnnotations:
+    def test_lineage_class_count_is_bounded_by_domain_product(self):
+        database = law_students_database(num_rows=500, seed=1)
+        query = law_students_query()
+        annotated = annotate(query, database)
+        regions = len(annotated.categorical_domains["Region"])
+        gpas = len(annotated.numeric_domain("GPA"))
+        assert annotated.num_lineage_classes <= regions * gpas
+        assert len(annotated) == 500
+
+    def test_no_distinct_query_has_no_duplicate_sets(self):
+        database = law_students_database(num_rows=200, seed=2)
+        annotated = annotate(law_students_query(), database)
+        assert all(
+            annotated.duplicates_before(t.position) == [] for t in annotated.tuples
+        )
+
+
+class TestPrunedAnnotatedDatabase:
+    def test_pruned_database_preserves_positions_and_domains(self, students_db, scholarship):
+        annotated = annotate(scholarship, students_db)
+        kept = annotated.relevant_prefix(2)
+        pruned = AnnotatedDatabase(
+            scholarship,
+            kept,
+            annotated.categorical_domains,
+            annotated.numerical_domains,
+        )
+        assert len(pruned) == len(kept)
+        assert pruned.categorical_domains == annotated.categorical_domains
+        for annotated_tuple in pruned.tuples:
+            assert annotated_tuple.position in {t.position for t in annotated.tuples}
+
+
+@settings(deadline=None, max_examples=15)
+@given(num_rows=st.integers(min_value=20, max_value=200), seed=st.integers(0, 100))
+def test_property_lineage_atoms_mirror_tuple_values(num_rows, seed):
+    """Property: every tuple's lineage atoms carry exactly its own attribute values."""
+    database = law_students_database(num_rows=num_rows, seed=seed)
+    query = law_students_query()
+    annotated = annotate(query, database)
+    for annotated_tuple in annotated.tuples:
+        for atom in annotated_tuple.lineage:
+            if isinstance(atom, CategoricalAtom):
+                assert annotated_tuple.values[atom.attribute] == atom.value
+            else:
+                assert float(annotated_tuple.values[atom.attribute]) == atom.value
+
+
+@settings(deadline=None, max_examples=15)
+@given(k_star=st.integers(min_value=1, max_value=20))
+def test_property_relevant_prefix_never_drops_class_leaders(k_star):
+    """Property: pruning keeps exactly min(k*, class size) tuples of each class."""
+    database = law_students_database(num_rows=300, seed=5)
+    annotated = annotate(law_students_query(), database)
+    kept_positions = {t.position for t in annotated.relevant_prefix(k_star)}
+    for positions in annotated.lineage_classes.values():
+        kept_in_class = [p for p in positions if p in kept_positions]
+        assert kept_in_class == positions[: min(k_star, len(positions))]

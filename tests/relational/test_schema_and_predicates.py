@@ -1,0 +1,200 @@
+"""Unit tests for schemas and selection predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import QueryError, SchemaError
+from repro.relational import (
+    Attribute,
+    AttributeKind,
+    CategoricalPredicate,
+    Conjunction,
+    NumericalPredicate,
+    Operator,
+    Schema,
+)
+from repro.relational.schema import categorical, numerical
+
+
+class TestSchema:
+    def test_attribute_shorthands(self):
+        assert categorical("A").kind is AttributeKind.CATEGORICAL
+        assert numerical("B").kind is AttributeKind.NUMERICAL
+
+    def test_rejects_empty_attribute_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeKind.CATEGORICAL)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Schema([categorical("A"), numerical("A")])
+
+    def test_lookup_and_index(self):
+        schema = Schema([categorical("A"), numerical("B")])
+        assert schema.index_of("B") == 1
+        assert schema.attribute("A").is_categorical
+        assert "A" in schema and "C" not in schema
+        assert schema.names == ["A", "B"]
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema([categorical("A")])
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_project_preserves_order(self):
+        schema = Schema([categorical("A"), numerical("B"), categorical("C")])
+        projected = schema.project(["C", "A"])
+        assert projected.names == ["C", "A"]
+
+    def test_join_unions_attributes(self):
+        left = Schema([categorical("ID"), numerical("X")])
+        right = Schema([categorical("ID"), categorical("Y")])
+        joined = left.join(right)
+        assert joined.names == ["ID", "X", "Y"]
+        assert left.common_attributes(right) == ["ID"]
+
+    def test_join_rejects_conflicting_kinds(self):
+        left = Schema([categorical("ID")])
+        right = Schema([numerical("ID")])
+        with pytest.raises(SchemaError):
+            left.join(right)
+
+
+class TestOperator:
+    def test_strictness(self):
+        assert Operator.LESS.is_strict and Operator.GREATER.is_strict
+        assert not Operator.LESS_EQUAL.is_strict
+        assert not Operator.GREATER_EQUAL.is_strict
+        assert not Operator.EQUAL.is_strict
+
+    def test_bound_direction(self):
+        assert Operator.GREATER_EQUAL.is_lower_bound
+        assert Operator.GREATER.is_lower_bound
+        assert Operator.LESS.is_upper_bound
+        assert Operator.LESS_EQUAL.is_upper_bound
+        assert not Operator.EQUAL.is_lower_bound and not Operator.EQUAL.is_upper_bound
+
+    @pytest.mark.parametrize(
+        "symbol,value,constant,expected",
+        [
+            ("<", 1, 2, True),
+            ("<", 2, 2, False),
+            ("<=", 2, 2, True),
+            ("=", 2, 2, True),
+            ("=", 2.5, 2, False),
+            (">", 3, 2, True),
+            (">=", 2, 2, True),
+            (">=", 1.9, 2, False),
+        ],
+    )
+    def test_compare(self, symbol, value, constant, expected):
+        assert Operator.from_symbol(symbol).compare(value, constant) is expected
+
+    def test_unknown_symbol(self):
+        with pytest.raises(QueryError):
+            Operator.from_symbol("!=")
+
+
+class TestNumericalPredicate:
+    def test_matches_row(self):
+        predicate = NumericalPredicate("GPA", ">=", 3.7)
+        assert predicate.matches({"GPA": 3.7})
+        assert not predicate.matches({"GPA": 3.69})
+        assert not predicate.matches({"GPA": None})
+        assert not predicate.matches({})
+
+    def test_with_constant_returns_new_predicate(self):
+        predicate = NumericalPredicate("GPA", ">=", 3.7)
+        refined = predicate.with_constant(3.5)
+        assert refined.constant == 3.5
+        assert predicate.constant == 3.7
+        assert refined.attribute == "GPA" and refined.operator is Operator.GREATER_EQUAL
+
+    def test_equality_and_hash(self):
+        a = NumericalPredicate("GPA", ">=", 3.7)
+        b = NumericalPredicate("GPA", ">=", 3.7)
+        assert a == b and hash(a) == hash(b)
+        assert a != NumericalPredicate("GPA", ">", 3.7)
+
+
+class TestCategoricalPredicate:
+    def test_matches_row(self):
+        predicate = CategoricalPredicate("Activity", {"RB", "SO"})
+        assert predicate.matches({"Activity": "RB"})
+        assert not predicate.matches({"Activity": "GD"})
+        assert not predicate.matches({})
+
+    def test_rejects_empty_value_set(self):
+        with pytest.raises(QueryError):
+            CategoricalPredicate("Activity", set())
+
+    def test_with_values(self):
+        predicate = CategoricalPredicate("Activity", {"RB"})
+        refined = predicate.with_values({"RB", "GD"})
+        assert refined.values == frozenset({"RB", "GD"})
+        assert predicate.values == frozenset({"RB"})
+
+
+class TestConjunction:
+    def test_partitions_predicates_by_kind(self):
+        numerical_predicate = NumericalPredicate("GPA", ">=", 3.7)
+        categorical_predicate = CategoricalPredicate("Activity", {"RB"})
+        conjunction = Conjunction([numerical_predicate, categorical_predicate])
+        assert conjunction.numerical == [numerical_predicate]
+        assert conjunction.categorical == [categorical_predicate]
+        assert conjunction.attributes == ["GPA", "Activity"]
+        assert len(conjunction) == 2
+
+    def test_matches_requires_all_predicates(self):
+        conjunction = Conjunction(
+            [NumericalPredicate("GPA", ">=", 3.7), CategoricalPredicate("Activity", {"RB"})]
+        )
+        assert conjunction.matches({"GPA": 3.8, "Activity": "RB"})
+        assert not conjunction.matches({"GPA": 3.8, "Activity": "SO"})
+        assert not conjunction.matches({"GPA": 3.6, "Activity": "RB"})
+
+    def test_empty_conjunction_matches_everything(self):
+        assert Conjunction().matches({"anything": 1})
+
+    def test_replace_swaps_predicate(self):
+        original = NumericalPredicate("GPA", ">=", 3.7)
+        refined = original.with_constant(3.6)
+        conjunction = Conjunction([original])
+        replaced = conjunction.replace(original, refined)
+        assert replaced.numerical[0].constant == 3.6
+        assert conjunction.numerical[0].constant == 3.7
+
+    def test_replace_unknown_predicate_raises(self):
+        conjunction = Conjunction([NumericalPredicate("GPA", ">=", 3.7)])
+        with pytest.raises(QueryError):
+            conjunction.replace(NumericalPredicate("SAT", ">=", 1500), NumericalPredicate("SAT", ">=", 1400))
+
+    def test_without_removes_predicate(self):
+        predicate = NumericalPredicate("GPA", ">=", 3.7)
+        conjunction = Conjunction([predicate, CategoricalPredicate("Activity", {"RB"})])
+        assert len(conjunction.without(predicate)) == 1
+
+
+@given(
+    value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    constant=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+def test_property_lower_and_upper_bounds_partition(value, constant):
+    """Property: for any value, >= and < with the same constant never both hold."""
+    lower = NumericalPredicate("A", ">=", constant)
+    upper = NumericalPredicate("A", "<", constant)
+    assert lower.matches_value(value) != upper.matches_value(value)
+
+
+@given(
+    values=st.sets(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1),
+    probe=st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+)
+def test_property_categorical_membership_matches_python_in(values, probe):
+    """Property: categorical predicate semantics equal plain set membership."""
+    predicate = CategoricalPredicate("A", values)
+    assert predicate.matches_value(probe) == (probe in values)
