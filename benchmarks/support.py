@@ -46,6 +46,12 @@ DEFAULT_EPSILON = 0.5
 #: suite uses a tighter cap so a "times out" outcome is still visible quickly.
 TIMEOUT_SECONDS = float(os.environ.get("REPRO_BENCH_TIMEOUT", "30"))
 
+#: Solve-time budget for the ``perf_smoke`` guard (`pytest -m perf_smoke`):
+#: ``Naive+prov`` on the reduced meps workload took ~6.2s on the row-based
+#: engine and ~0.25s on the columnar engine, so 2 seconds leaves ample head
+#: room for slow CI machines while still catching any hot-path regression.
+PERF_SMOKE_BUDGET_SECONDS = float(os.environ.get("REPRO_PERF_SMOKE_BUDGET", "2.0"))
+
 
 def bench_scale() -> str:
     """``"reduced"`` (default) or ``"paper"``, selected via REPRO_BENCH_SCALE."""

@@ -1,0 +1,31 @@
+"""Performance smoke guard for the columnar evaluation engine.
+
+A single fast assertion (run via ``pytest -m perf_smoke``) that the
+``Naive+prov`` exhaustive baseline on the reduced meps workload — the Figure 3
+configuration that motivated the vectorized engine — completes well inside a
+fixed budget.  Future PRs cannot silently regress the hot path: a return to
+row-at-a-time candidate evaluation blows the budget by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.support import (
+    PERF_SMOKE_BUDGET_SECONDS,
+    default_constraint_set,
+    run_naive,
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_naive_prov_on_reduced_meps_finishes_under_budget():
+    record = run_naive("meps", default_constraint_set("meps"), use_provenance=True)
+    assert record.feasible, "reduced meps Naive+prov must find a refinement"
+    assert not record.timed_out
+    assert record.solve_seconds < PERF_SMOKE_BUDGET_SECONDS, (
+        f"Naive+prov solve took {record.solve_seconds:.3f}s, "
+        f"budget is {PERF_SMOKE_BUDGET_SECONDS:.1f}s — the vectorized hot "
+        f"path has regressed"
+    )

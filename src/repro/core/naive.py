@@ -18,11 +18,18 @@ from dataclasses import dataclass, field
 from repro.core.constraints import ConstraintSet
 from repro.core.distances import DistanceMeasure, get_distance
 from repro.core.refinement import Refinement, RefinementSpace
-from repro.provenance.lineage import AnnotatedDatabase, annotate
+from repro.provenance.lineage import AnnotatedDatabase, annotate_result
+from repro.relational import columnar
 from repro.relational.database import Database
 from repro.relational.executor import QueryExecutor, RankedResult
+from repro.relational.predicates import Operator
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
+
+try:  # pragma: no cover - gated via columnar.vectorization_enabled()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 @dataclass
@@ -73,7 +80,11 @@ class _BaseExhaustiveSearch:
         """Enumerate the refinement space and return the closest acceptable refinement."""
         setup_started = time.perf_counter()
         original_result = self._executor.evaluate(self.query)
-        annotated = annotate(self.query, self.database)
+        # annotate_result reuses this executor's cached join+sort of ~Q(D);
+        # annotate() would rebuild both on a fresh executor.
+        annotated = annotate_result(
+            self.query, self._executor.evaluate_unfiltered(self.query)
+        )
         space = RefinementSpace(self.query, annotated)
         self._prepare(annotated)
         setup_seconds = time.perf_counter() - setup_started
@@ -148,6 +159,102 @@ class NaiveSearch(_BaseExhaustiveSearch):
         return self._executor.evaluate(refined_query)
 
 
+class _CandidateMaskIndex:
+    """Precomputed per-atom masks over the rank-ordered ``~Q(D)``.
+
+    Candidate refinements are evaluated by AND-ing one boolean mask per
+    predicate: numerical thresholds are resolved with ``searchsorted`` against
+    the pre-sorted column (NULL positions excluded up front, so they can never
+    match), categorical value sets OR together per-value masks, and DISTINCT
+    de-duplication keeps the first (best-ranked) position of each precomputed
+    distinct-key code.
+    """
+
+    def __init__(self, length, numeric_index, value_masks, distinct_codes) -> None:
+        self._length = length
+        self._numeric = numeric_index
+        self._value_masks = value_masks
+        self._distinct_codes = distinct_codes
+
+    @classmethod
+    def build(cls, query: SPJQuery, base: Relation) -> "_CandidateMaskIndex | None":
+        if not columnar.vectorization_enabled():
+            return None
+        store = base.column_store()
+        if store is None:
+            return None
+        numeric_index: dict[str, tuple] = {}
+        for predicate in query.numerical_predicates:
+            values = store.numeric(predicate.attribute)
+            if values is None:
+                return None
+            valid = _np.flatnonzero(~_np.isnan(values))
+            order = valid[_np.argsort(values[valid], kind="stable")]
+            numeric_index[predicate.attribute] = (order, values[order])
+        value_masks: dict[str, dict] = {}
+        for predicate in query.categorical_predicates:
+            factorized = store.codes(predicate.attribute)
+            if factorized is None:
+                return None
+            codes, mapping = factorized
+            value_masks[predicate.attribute] = {
+                value: codes == code for value, code in mapping.items()
+            }
+        distinct_codes = None
+        if query.distinct and query.select:
+            distinct_codes = columnar.combined_codes(store, list(query.select))
+            if distinct_codes is None:
+                return None
+        return cls(store.length, numeric_index, value_masks, distinct_codes)
+
+    def selected_positions(self, refined_query: SPJQuery):
+        """Rank-ordered positions of ``~Q(D)`` selected by the refined query."""
+        mask = _np.ones(self._length, dtype=bool)
+        for predicate in refined_query.numerical_predicates:
+            entry = self._numeric.get(predicate.attribute)
+            if entry is None:
+                return None
+            order, sorted_values = entry
+            constant = predicate.constant
+            operator = predicate.operator
+            if operator is Operator.GREATER_EQUAL:
+                cut = _np.searchsorted(sorted_values, constant, side="left")
+                positions = order[cut:]
+            elif operator is Operator.GREATER:
+                cut = _np.searchsorted(sorted_values, constant, side="right")
+                positions = order[cut:]
+            elif operator is Operator.LESS_EQUAL:
+                cut = _np.searchsorted(sorted_values, constant, side="right")
+                positions = order[:cut]
+            elif operator is Operator.LESS:
+                cut = _np.searchsorted(sorted_values, constant, side="left")
+                positions = order[:cut]
+            else:  # EQUAL
+                low = _np.searchsorted(sorted_values, constant, side="left")
+                high = _np.searchsorted(sorted_values, constant, side="right")
+                positions = order[low:high]
+            part = _np.zeros(self._length, dtype=bool)
+            part[positions] = True
+            mask &= part
+        for predicate in refined_query.categorical_predicates:
+            masks = self._value_masks.get(predicate.attribute)
+            if masks is None:
+                return None
+            selected = [masks[value] for value in predicate.values if value in masks]
+            if not selected:
+                return _np.empty(0, dtype=_np.int64)
+            if len(selected) == 1:
+                mask &= selected[0]
+            else:
+                mask &= _np.logical_or.reduce(selected)
+        positions = _np.flatnonzero(mask)
+        if self._distinct_codes is not None and positions.size:
+            codes = self._distinct_codes[positions]
+            _, first = _np.unique(codes, return_index=True)
+            positions = positions[_np.sort(first)]
+        return positions
+
+
 class NaiveProvenanceSearch(_BaseExhaustiveSearch):
     """The paper's ``Naive+prov``: candidates are evaluated on the annotations."""
 
@@ -157,12 +264,18 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         super().__init__(*args, **kwargs)
         self._annotated: AnnotatedDatabase | None = None
         self._schema = None
+        self._base: Relation | None = None
+        self._fast: _CandidateMaskIndex | None = None
 
     def _prepare(self, annotated: AnnotatedDatabase) -> None:
         self._annotated = annotated
-        # The joined schema is needed to materialise candidate outputs; compute
-        # it once here rather than per candidate.
-        self._schema = self._executor.evaluate_unfiltered(self.query).relation.schema
+        # The rank-ordered ~Q(D) is needed to materialise candidate outputs;
+        # compute it once here (the executor caches the join and sort) and
+        # derive the per-atom mask index from its columns.
+        unfiltered = self._executor.evaluate_unfiltered(self.query)
+        self._base = unfiltered.relation
+        self._schema = unfiltered.relation.schema
+        self._fast = _CandidateMaskIndex.build(self.query, self._base)
 
     def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
         """Evaluate a refinement directly on ``~Q(D)`` without touching the database.
@@ -170,8 +283,28 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         A tuple is selected when every predicate of the refined query accepts
         its value; DISTINCT de-duplication keeps the better-ranked tuple.  The
         tuples of ``~Q(D)`` are already in rank order, so the selected tuples
-        are too.
+        are too.  The columnar fast path composes precomputed per-atom masks;
+        the row-based reference below remains for parity testing and as the
+        NumPy-free fallback.
         """
+        if self._fast is not None:
+            positions = self._fast.selected_positions(refined_query)
+            if positions is not None:
+                relation = self._base.take(positions).rename(refined_query.name)
+                projected = (
+                    relation.project(list(refined_query.select))
+                    if refined_query.select
+                    else relation
+                )
+                return RankedResult(
+                    query=refined_query, relation=relation, projected=projected
+                )
+        return self._evaluate_rowwise(refinement, refined_query)
+
+    def _evaluate_rowwise(
+        self, refinement: Refinement, refined_query: SPJQuery
+    ) -> RankedResult:
+        """Row-at-a-time reference evaluation over the annotated tuples."""
         assert self._annotated is not None
         numerical = list(refined_query.numerical_predicates)
         categorical = list(refined_query.categorical_predicates)

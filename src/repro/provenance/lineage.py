@@ -15,6 +15,11 @@ from repro.relational.predicates import (
 )
 from repro.relational.query import SPJQuery
 
+try:  # pragma: no cover - optional, used only when a column store exists
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 
 @dataclass(frozen=True)
 class CategoricalAtom:
@@ -179,7 +184,20 @@ def annotate(query: SPJQuery, database: Database) -> AnnotatedDatabase:
 
 
 def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatabase:
-    """Annotate an already evaluated ``~Q(D)`` result (used by the benchmarks)."""
+    """Annotate an already evaluated ``~Q(D)`` result (used by the benchmarks).
+
+    Annotation atoms are built column-wise: each predicate contributes one
+    atom per *distinct* attribute value, cached and shared across all tuples
+    carrying that value, and lineage sets are likewise interned per distinct
+    atom combination — tuples in the same lineage equivalence class share one
+    ``frozenset`` object, which also speeds up the class grouping downstream.
+
+    Tuples with ``None`` in a numerical predicate attribute are *dead*: no
+    refinement can ever select them (``None`` fails every comparison), so they
+    are omitted from the annotation instead of crashing ``float(None)``.
+    Positions keep their rank in ``~Q(D)`` (they may have gaps).  A ``None``
+    ranking value scores as 0, mirroring :meth:`RankedResult.scores`.
+    """
     relation = unfiltered.relation
     schema = relation.schema
 
@@ -194,11 +212,20 @@ def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatab
     for predicate in query.categorical_predicates:
         categorical_domains[predicate.attribute] = relation.domain(predicate.attribute)
 
+    store = relation.column_store()
     numerical_domains: dict[str, list[float]] = {}
     for predicate in query.numerical_predicates:
-        values = sorted(
-            float(v) for v in set(relation.column(predicate.attribute)) if v is not None
-        )
+        values = None
+        if store is not None:
+            view = store.numeric(predicate.attribute)
+            if view is not None:
+                values = _np.unique(view[~_np.isnan(view)]).tolist()
+        if values is None:
+            values = sorted(
+                float(v)
+                for v in set(relation.column(predicate.attribute))
+                if v is not None
+            )
         numerical_domains[predicate.attribute] = values
 
     select = list(query.select)
@@ -208,30 +235,52 @@ def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatab
     order_index = schema.index_of(query.order_by.attribute)
     names = schema.names
 
+    categorical_columns = [
+        (predicate.attribute, schema.index_of(predicate.attribute), {})
+        for predicate in query.categorical_predicates
+    ]
+    numerical_columns = [
+        (predicate.attribute, predicate.operator, schema.index_of(predicate.attribute), {})
+        for predicate in query.numerical_predicates
+    ]
+    lineage_cache: dict[tuple[LineageAtom, ...], frozenset[LineageAtom]] = {}
+
     annotated: list[AnnotatedTuple] = []
     for position, row in enumerate(relation.rows):
-        values = dict(zip(names, row))
-        lineage: set[LineageAtom] = set()
-        for predicate in query.categorical_predicates:
-            lineage.add(CategoricalAtom(predicate.attribute, values[predicate.attribute]))
-        for predicate in query.numerical_predicates:
-            lineage.add(
-                NumericalAtom(
-                    predicate.attribute,
-                    predicate.operator,
-                    float(values[predicate.attribute]),
-                )
-            )
+        atoms: list[LineageAtom] = []
+        dead = False
+        for attribute, index, atom_cache in categorical_columns:
+            value = row[index]
+            atom = atom_cache.get(value)
+            if atom is None:
+                atom = atom_cache[value] = CategoricalAtom(attribute, value)
+            atoms.append(atom)
+        for attribute, operator, index, atom_cache in numerical_columns:
+            raw = row[index]
+            if raw is None:
+                dead = True
+                break
+            value = float(raw)
+            atom = atom_cache.get(value)
+            if atom is None:
+                atom = atom_cache[value] = NumericalAtom(attribute, operator, value)
+            atoms.append(atom)
+        if dead:
+            continue
+        atom_key = tuple(atoms)
+        lineage = lineage_cache.get(atom_key)
+        if lineage is None:
+            lineage = lineage_cache[atom_key] = frozenset(atoms)
         distinct_key = (
             tuple(row[i] for i in distinct_indices) if distinct_indices is not None else None
         )
         annotated.append(
             AnnotatedTuple(
                 position=position,
-                values=values,
-                lineage=frozenset(lineage),
+                values=dict(zip(names, row)),
+                lineage=lineage,
                 distinct_key=distinct_key,
-                score=float(row[order_index]),
+                score=0.0 if row[order_index] is None else float(row[order_index]),
             )
         )
 

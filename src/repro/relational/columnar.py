@@ -1,0 +1,317 @@
+"""NumPy-backed columnar storage for relations (the vectorized engine).
+
+A :class:`ColumnStore` keeps a relation's data column-wise as ``object``-dtype
+arrays so that rows round-trip exactly (the same Python objects come back out),
+with two cached derived views per column:
+
+* a ``float64`` view (``None`` mapped to NaN) for numerical comparisons and
+  stable sorting, and
+* a factorized integer-code view (value -> small int) for categorical
+  membership tests and DISTINCT de-duplication.
+
+Selection evaluates a :class:`~repro.relational.predicates.Conjunction` as one
+boolean mask per predicate AND-ed together, instead of materialising a dict
+per row.  Every derived store produced by :meth:`ColumnStore.take` /
+:meth:`ColumnStore.head` / :meth:`ColumnStore.project` propagates the cached
+views, so repeated selections over the same base relation (the exhaustive
+baselines' hot loop) never re-derive them.
+
+The module degrades gracefully: when NumPy is unavailable — or vectorization
+is explicitly disabled via :func:`rowwise_fallback` — callers receive ``None``
+from :func:`store_for` and fall back to the original row-at-a-time code paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from repro.relational.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericalPredicate,
+    Operator,
+)
+from repro.relational.schema import Schema
+
+try:  # pragma: no cover - exercised implicitly by the whole suite
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+_VECTORIZATION_ENABLED = True
+
+
+def numpy_available() -> bool:
+    """Whether NumPy could be imported at all."""
+    return _np is not None
+
+
+def vectorization_enabled() -> bool:
+    """Whether the columnar fast paths should be used."""
+    return _VECTORIZATION_ENABLED and _np is not None
+
+
+@contextmanager
+def rowwise_fallback() -> Iterator[None]:
+    """Temporarily force every relational operator onto the row-based path.
+
+    Used by the parity test suite to compare the vectorized engine against the
+    reference implementation on identical inputs.
+    """
+    global _VECTORIZATION_ENABLED
+    previous = _VECTORIZATION_ENABLED
+    _VECTORIZATION_ENABLED = False
+    try:
+        yield
+    finally:
+        _VECTORIZATION_ENABLED = previous
+
+
+class ColumnStore:
+    """Column-wise storage of one relation's data.
+
+    Arrays are ``object`` dtype and aligned with the schema; mutating them is
+    forbidden by convention (relations are immutable).
+    """
+
+    __slots__ = ("schema", "length", "_arrays", "_numeric", "_codes")
+
+    def __init__(self, schema: Schema, arrays: Sequence, length: int) -> None:
+        self.schema = schema
+        self._arrays = list(arrays)
+        self.length = int(length)
+        self._numeric: dict = {}
+        self._codes: dict = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[tuple]) -> "ColumnStore":
+        width = len(schema)
+        count = len(rows)
+        if count == 0:
+            return cls(schema, [_np.empty(0, dtype=object) for _ in range(width)], 0)
+        matrix = _np.empty((count, width), dtype=object)
+        for j in range(width):
+            matrix[:, j] = [row[j] for row in rows]
+        return cls(schema, [matrix[:, j] for j in range(width)], count)
+
+    # -- raw access ------------------------------------------------------------
+
+    def array(self, name: str):
+        """The object-dtype array of one column."""
+        return self._arrays[self.schema.index_of(name)]
+
+    def to_rows(self) -> list[tuple]:
+        """Materialise the stored columns back into row tuples."""
+        if not self._arrays:
+            return [() for _ in range(self.length)]
+        return list(zip(*(array.tolist() for array in self._arrays)))
+
+    # -- derived views ---------------------------------------------------------
+
+    def numeric(self, name: str):
+        """``float64`` view of a column (``None`` -> NaN); ``None`` if impossible."""
+        if name in self._numeric:
+            return self._numeric[name]
+        values = self.array(name).tolist()
+        try:
+            view = _np.array(
+                [_np.nan if value is None else float(value) for value in values],
+                dtype=float,
+            )
+        except (TypeError, ValueError):
+            view = None
+        self._numeric[name] = view
+        return view
+
+    def codes(self, name: str):
+        """``(codes, mapping)`` factorization of a column; ``None`` if unhashable."""
+        if name in self._codes:
+            return self._codes[name]
+        values = self.array(name).tolist()
+        mapping: dict = {}
+        codes = _np.empty(self.length, dtype=_np.int64)
+        try:
+            for position, value in enumerate(values):
+                codes[position] = mapping.setdefault(value, len(mapping))
+        except TypeError:
+            self._codes[name] = None
+            return None
+        result = (codes, mapping)
+        self._codes[name] = result
+        return result
+
+    # -- derivations (propagate cached views) ----------------------------------
+
+    def take(self, indices) -> "ColumnStore":
+        """Gather rows by position (fancy indexing or a slice)."""
+        arrays = [array[indices] for array in self._arrays]
+        if arrays:
+            length = arrays[0].shape[0]
+        elif isinstance(indices, slice):
+            # Zero-column stores still carry a row count (cf. to_rows).
+            length = len(range(*indices.indices(self.length)))
+        else:
+            length = len(indices)
+        derived = ColumnStore(self.schema, arrays, length)
+        for name, view in self._numeric.items():
+            derived._numeric[name] = None if view is None else view[indices]
+        for name, factorized in self._codes.items():
+            if factorized is None:
+                derived._codes[name] = None
+            else:
+                codes, mapping = factorized
+                derived._codes[name] = (codes[indices], mapping)
+        return derived
+
+    def head(self, k: int) -> "ColumnStore":
+        return self.take(slice(0, max(k, 0)))
+
+    def project(self, names: Sequence[str]) -> "ColumnStore":
+        """Restrict to a subset of columns (arrays and views are shared)."""
+        derived = ColumnStore(
+            self.schema.project(names),
+            [self.array(name) for name in names],
+            self.length,
+        )
+        for name in names:
+            if name in self._numeric:
+                derived._numeric[name] = self._numeric[name]
+            if name in self._codes:
+                derived._codes[name] = self._codes[name]
+        return derived
+
+    # -- vectorized operators ---------------------------------------------------
+
+    def mask(self, conjunction: Conjunction):
+        """Boolean selection mask for a conjunction; ``None`` -> caller fallback."""
+        mask = _np.ones(self.length, dtype=bool)
+        for predicate in conjunction:
+            if isinstance(predicate, NumericalPredicate):
+                part = self._numerical_mask(predicate)
+            else:
+                part = self._categorical_mask(predicate)
+            if part is None:
+                return None
+            mask &= part
+        return mask
+
+    def _numerical_mask(self, predicate: NumericalPredicate):
+        if predicate.attribute not in self.schema:
+            # Row semantics: a missing attribute reads as None, which fails.
+            return _np.zeros(self.length, dtype=bool)
+        values = self.numeric(predicate.attribute)
+        if values is None:
+            return None
+        constant = predicate.constant
+        operator = predicate.operator
+        # NaN (was None) compares False under every operator, matching the
+        # row path's "missing/None fails" rule.
+        if operator is Operator.LESS:
+            return values < constant
+        if operator is Operator.LESS_EQUAL:
+            return values <= constant
+        if operator is Operator.EQUAL:
+            return values == constant
+        if operator is Operator.GREATER:
+            return values > constant
+        return values >= constant
+
+    def _categorical_mask(self, predicate: CategoricalPredicate):
+        if predicate.attribute not in self.schema:
+            return _np.full(self.length, None in predicate.values, dtype=bool)
+        factorized = self.codes(predicate.attribute)
+        if factorized is None:
+            return None
+        codes, mapping = factorized
+        wanted = [mapping[value] for value in predicate.values if value in mapping]
+        if not wanted:
+            return _np.zeros(self.length, dtype=bool)
+        if len(wanted) == 1:
+            return codes == wanted[0]
+        return _np.isin(codes, _np.array(wanted, dtype=_np.int64))
+
+    def argsort_by(self, name: str, descending: bool):
+        """Stable sort order by one column, NULLs last; ``None`` -> fallback.
+
+        NaN (the image of ``None``) sorts to the end of ``argsort`` for both
+        the negated and the plain key, which is exactly the deterministic
+        "NULLs last" contract.
+        """
+        values = self.numeric(name)
+        if values is None:
+            return None
+        keys = -values if descending else values
+        return _np.argsort(keys, kind="stable")
+
+    def first_occurrence(self, names: Sequence[str]):
+        """Positions of the first row for each distinct key, in row order.
+
+        ``None`` when any key column cannot be factorized.
+        """
+        columns = []
+        for name in names:
+            factorized = self.codes(name)
+            if factorized is None:
+                return None
+            columns.append(factorized[0])
+        if not columns:
+            return _np.arange(min(self.length, 1))
+        if len(columns) == 1:
+            _, first = _np.unique(columns[0], return_index=True)
+        else:
+            stacked = _np.stack(columns, axis=1)
+            _, first = _np.unique(stacked, axis=0, return_index=True)
+        return _np.sort(first)
+
+    def count_conditions(self, conditions: Mapping[str, object]):
+        """Rows satisfying every ``attribute == value`` condition; ``None`` -> fallback."""
+        mask = _np.ones(self.length, dtype=bool)
+        for attribute, value in conditions.items():
+            factorized = self.codes(attribute)
+            if factorized is None:
+                return None
+            codes, mapping = factorized
+            try:
+                code = mapping.get(value)
+            except TypeError:
+                return None
+            if code is None:
+                return 0
+            mask &= codes == code
+        return int(mask.sum())
+
+
+def combined_codes(store: ColumnStore, names: Sequence[str]):
+    """A single ``int64`` array identifying each row's key over ``names``.
+
+    Rows with equal values in every key column share a code; codes are
+    assigned in first-seen order.  ``None`` when factorization is impossible.
+    """
+    if not names:
+        return None
+    parts = []
+    for name in names:
+        factorized = store.codes(name)
+        if factorized is None:
+            return None
+        parts.append(factorized[0])
+    if len(parts) == 1:
+        return parts[0]
+    mapping: dict = {}
+    combined = _np.empty(store.length, dtype=_np.int64)
+    for position, key in enumerate(zip(*(part.tolist() for part in parts))):
+        combined[position] = mapping.setdefault(key, len(mapping))
+    return combined
+
+
+__all__ = [
+    "ColumnStore",
+    "combined_codes",
+    "numpy_available",
+    "rowwise_fallback",
+    "vectorization_enabled",
+]

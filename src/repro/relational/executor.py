@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.exceptions import QueryError
 from repro.relational.database import Database
@@ -51,45 +51,74 @@ class RankedResult:
         return tuple(self.relation[position])
 
     def top_k_keys(self, k: int) -> list[tuple[object, ...]]:
-        """Identities of the top-``k`` items, in rank order."""
-        return [self.item_key(i) for i in range(min(k, len(self.relation)))]
+        """Identities of the top-``k`` items, in rank order.
+
+        Materialises only the top-``k`` rows (not the full result), keeping
+        outcome-based distance evaluation cheap on columnar results.
+        """
+        source = (
+            self.projected
+            if self.query.distinct and self.query.select
+            else self.relation
+        )
+        return source.head(k).rows
 
     def count_in_top_k(self, k: int, member: Callable[[dict], bool]) -> int:
         """Number of top-``k`` rows satisfying a group-membership test."""
-        names = self.relation.schema.names
-        count = 0
-        for row in self.relation.rows[:k]:
-            if member(dict(zip(names, row))):
-                count += 1
-        return count
+        return sum(
+            1 for values in self.relation.head(k).iter_dicts() if member(values)
+        )
+
+    def count_group_in_top_k(self, k: int, conditions: Mapping[str, object]) -> int:
+        """Number of top-``k`` rows matching equality ``conditions`` (vectorized)."""
+        return self.relation.head(k).group_count(conditions)
 
     def scores(self) -> list[float]:
-        """Values of the ranking attribute, in rank order."""
-        return [float(v) for v in self.relation.column(self.query.order_by.attribute)]
+        """Values of the ranking attribute, in rank order (``None`` scores as 0)."""
+        return [
+            0.0 if value is None else float(value)
+            for value in self.relation.column(self.query.order_by.attribute)
+        ]
 
 
 class QueryExecutor:
-    """Evaluates SPJ queries over an in-memory :class:`Database`."""
+    """Evaluates SPJ queries over an in-memory :class:`Database`.
+
+    The executor caches the joined relation per table list and the *ordered*
+    join per ``(tables, ORDER BY)`` pair: ordering before selecting is
+    equivalent to the textbook select-then-order pipeline because both sorts
+    are stable (filtering commutes with a stable sort), and it lets repeated
+    evaluations over the same tables — the exhaustive baselines re-evaluate
+    thousands of candidate refinements — skip the join and sort entirely.
+    Each cache holds one entry per query shape; swapping a relation in the
+    database replaces the stale entry on the next evaluation.
+    """
 
     def __init__(self, database: Database) -> None:
         self.database = database
+        self._join_cache: dict = {}
+        self._ordered_cache: dict = {}
 
     # -- public API --------------------------------------------------------------
 
     def evaluate(self, query: SPJQuery) -> RankedResult:
         """Evaluate ``query`` and return its ranked result."""
-        joined = self._join(query.tables)
-        self._validate(query, joined)
-        selected = joined.select(query.where)
-        ordered = selected.order_by(
-            query.order_by.attribute, descending=query.order_by.descending
-        )
+        ordered_join = self._ordered_join(query)
         if query.distinct and query.select:
-            ordered = self._deduplicate(ordered, query.select)
+            # Warm the DISTINCT-key code views on the shared parent store
+            # before deriving the selection, so it inherits sliced views
+            # instead of re-running the per-row factorization per candidate.
+            parent_store = ordered_join.column_store()
+            if parent_store is not None:
+                for name in query.select:
+                    parent_store.codes(name)
+        selected = ordered_join.select(query.where)
+        if query.distinct and query.select:
+            selected = self._deduplicate(selected, query.select)
         projected = (
-            ordered.project(query.select) if query.select else ordered
+            selected.project(query.select) if query.select else selected
         )
-        return RankedResult(query=query, relation=ordered, projected=projected)
+        return RankedResult(query=query, relation=selected, projected=projected)
 
     def evaluate_unfiltered(self, query: SPJQuery) -> RankedResult:
         """Evaluate the paper's ``~Q``: no selection, no DISTINCT, same ranking."""
@@ -98,15 +127,41 @@ class QueryExecutor:
     # -- helpers -------------------------------------------------------------------
 
     def _join(self, tables: Sequence[str]) -> Relation:
+        if not tables:
+            raise QueryError("cannot evaluate a query over an empty table list")
         relations = [self.database.relation(name) for name in tables]
-        joined = relations[0]
-        for relation in relations[1:]:
-            joined = relation if joined is None else joined.natural_join(relation)
-        return joined
+        # The entry keeps the input relations alive so that an id() recorded
+        # here can never be reused by a replacement relation (which would make
+        # a stale entry look fresh); a swap replaces the whole entry instead.
+        ids = tuple(id(relation) for relation in relations)
+        cached = self._join_cache.get(tuple(tables))
+        if cached is None or cached[0] != ids:
+            joined = relations[0]
+            for relation in relations[1:]:
+                joined = joined.natural_join(relation)
+            self._join_cache[tuple(tables)] = cached = (ids, relations, joined)
+        return cached[2]
+
+    def _ordered_join(self, query: SPJQuery) -> Relation:
+        joined = self._join(query.tables)
+        self._validate(query, joined)
+        key = (query.tables, query.order_by.attribute, query.order_by.descending)
+        cached = self._ordered_cache.get(key)
+        if cached is None or cached[0] is not joined:
+            ordered = joined.order_by(
+                query.order_by.attribute, descending=query.order_by.descending
+            )
+            self._ordered_cache[key] = cached = (joined, ordered)
+        return cached[1]
 
     @staticmethod
     def _deduplicate(ordered: Relation, select: Sequence[str]) -> Relation:
         """Keep only the best-ranked row for each combination of DISTINCT values."""
+        store = ordered.column_store()
+        if store is not None:
+            first = store.first_occurrence(list(select))
+            if first is not None:
+                return ordered.take(first)
         indices = [ordered.schema.index_of(name) for name in select]
         seen: set[tuple[object, ...]] = set()
         kept = []

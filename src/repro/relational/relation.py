@@ -1,22 +1,51 @@
-"""The :class:`Relation` container: a schema plus an ordered bag of rows."""
+"""The :class:`Relation` container: a schema plus an ordered bag of rows.
+
+Relations have a dual representation.  They can be constructed from row
+tuples (the original API, used by the dataset generators and tests) or from a
+:class:`~repro.relational.columnar.ColumnStore`; either side is materialised
+lazily from the other.  When NumPy is available every relational operator
+runs on the columnar representation — selection as boolean masks, ordering as
+a stable ``argsort``, joins as hash joins over key-column views with
+fancy-indexed gathers — and falls back to the original row-at-a-time
+implementation otherwise (or under
+:func:`repro.relational.columnar.rowwise_fallback`).
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchemaError
+from repro.relational import columnar
+from repro.relational.columnar import ColumnStore
 from repro.relational.predicates import Conjunction
 from repro.relational.schema import Attribute, AttributeKind, Schema
+
+try:  # pragma: no cover - optional, gated via columnar.vectorization_enabled()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _domain_sort_key(value: object) -> tuple:
+    """Total order over domain values: numbers first (by magnitude), then others.
+
+    Normalising numeric values to ``float`` keeps mixed ``int``/``float``
+    domains in one ordered run (``1`` before ``1.5`` before ``2``) instead of
+    splitting them by type name.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, complex):
+        return (0, float(value), "")
+    return (1, str(type(value)), str(value))
 
 
 class Relation:
     """An ordered bag of tuples conforming to a :class:`Schema`.
 
-    Rows are stored as plain tuples aligned with the schema.  All operations
-    return new relations; relations are never mutated in place.
+    All operations return new relations; relations are never mutated in place.
     """
 
-    __slots__ = ("name", "schema", "_rows")
+    __slots__ = ("name", "schema", "_rows", "_store")
 
     def __init__(
         self,
@@ -36,6 +65,7 @@ class Relation:
                 )
             stored.append(row)
         self._rows = stored
+        self._store: ColumnStore | None = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -51,69 +81,139 @@ class Relation:
         rows = [tuple(record.get(column) for column in names) for record in records]
         return cls(name, schema, rows)
 
+    @classmethod
+    def from_store(cls, name: str, store: ColumnStore) -> "Relation":
+        """Wrap a column store without materialising rows."""
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.schema = store.schema
+        relation._rows = None
+        relation._store = store
+        return relation
+
+    # -- representation management -----------------------------------------------
+
+    def _materialized(self) -> list[tuple[object, ...]]:
+        """The row tuples, converting from columns on first use."""
+        if self._rows is None:
+            self._rows = self._store.to_rows()
+        return self._rows
+
+    def _columns(self) -> ColumnStore | None:
+        """The column store when the vectorized engine should be used."""
+        if not columnar.vectorization_enabled():
+            return None
+        if self._store is None:
+            self._store = ColumnStore.from_rows(self.schema, self._rows)
+        return self._store
+
+    def column_store(self) -> ColumnStore | None:
+        """Public accessor for the columnar representation (or ``None``)."""
+        return self._columns()
+
     # -- basic accessors --------------------------------------------------------
 
     @property
     def rows(self) -> list[tuple[object, ...]]:
         """The stored rows (copy of the list, rows themselves are immutable)."""
-        return list(self._rows)
+        return list(self._materialized())
 
     def __len__(self) -> int:
-        return len(self._rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return self._store.length
 
     def __iter__(self) -> Iterator[tuple[object, ...]]:
-        return iter(self._rows)
+        return iter(self._materialized())
 
     def __getitem__(self, position: int) -> tuple[object, ...]:
-        return self._rows[position]
+        return self._materialized()[position]
 
     def is_empty(self) -> bool:
-        return not self._rows
+        return len(self) == 0
 
     def column(self, attribute: str) -> list[object]:
         """All values of ``attribute`` in row order."""
         index = self.schema.index_of(attribute)
+        if self._rows is None:
+            return self._store.array(attribute).tolist()
         return [row[index] for row in self._rows]
 
     def domain(self, attribute: str) -> list[object]:
-        """Distinct values of ``attribute`` (sorted for determinism)."""
+        """Distinct values of ``attribute`` (sorted for determinism).
+
+        Numeric values are normalised to a common sort key, so mixed
+        ``int``/``float`` domains come out in true numeric order.
+        """
         values = set(self.column(attribute))
         values.discard(None)
-        return sorted(values, key=lambda v: (str(type(v)), v))
+        return sorted(values, key=_domain_sort_key)
 
     def row_as_dict(self, position: int) -> dict[str, object]:
-        return dict(zip(self.schema.names, self._rows[position]))
+        return dict(zip(self.schema.names, self._materialized()[position]))
 
     def iter_dicts(self) -> Iterator[dict[str, object]]:
         names = self.schema.names
-        for row in self._rows:
+        for row in self._materialized():
             yield dict(zip(names, row))
 
     def value(self, position: int, attribute: str) -> object:
         """Value of ``attribute`` in the row at ``position``."""
-        return self._rows[position][self.schema.index_of(attribute)]
+        return self._materialized()[position][self.schema.index_of(attribute)]
 
     # -- relational operators ----------------------------------------------------
 
     def select(self, condition: Conjunction | Callable[[dict], bool]) -> "Relation":
         """Rows satisfying ``condition`` (a Conjunction or a row-dict callable)."""
-        names = self.schema.names
         if isinstance(condition, Conjunction):
+            if not len(condition):
+                # TRUE selects everything; relations are immutable, so the
+                # unfiltered ~Q evaluations can share this one instead of
+                # gathering a full copy.
+                return self
+            store = self._columns()
+            if store is not None:
+                mask = store.mask(condition)
+                if mask is not None:
+                    return Relation.from_store(
+                        self.name, store.take(_np.flatnonzero(mask))
+                    )
             predicate = condition.matches
         else:
             predicate = condition
+        names = self.schema.names
         kept = [
             row
-            for row in self._rows
+            for row in self._materialized()
             if predicate(dict(zip(names, row)))
         ]
         return Relation(self.name, self.schema, kept)
 
+    def take(self, positions) -> "Relation":
+        """Rows at the given positions, in the given order."""
+        store = self._columns()
+        if store is not None:
+            return Relation.from_store(self.name, store.take(positions))
+        rows = self._materialized()
+        return Relation(self.name, self.schema, [rows[p] for p in positions])
+
     def project(self, attributes: Sequence[str], distinct: bool = False) -> "Relation":
         """Project onto ``attributes``; optionally de-duplicate keeping first."""
+        store = self._columns()
+        if store is not None:
+            projected = store.project(attributes)
+            if distinct:
+                first = projected.first_occurrence(attributes)
+                if first is None:
+                    return self._project_rows(attributes, distinct)
+                projected = projected.take(first)
+            return Relation.from_store(self.name, projected)
+        return self._project_rows(attributes, distinct)
+
+    def _project_rows(self, attributes: Sequence[str], distinct: bool) -> "Relation":
         indices = [self.schema.index_of(attribute) for attribute in attributes]
         projected_schema = self.schema.project(attributes)
-        rows = [tuple(row[i] for i in indices) for row in self._rows]
+        rows = [tuple(row[i] for i in indices) for row in self._materialized()]
         if distinct:
             seen: set[tuple[object, ...]] = set()
             unique: list[tuple[object, ...]] = []
@@ -125,15 +225,67 @@ class Relation:
         return Relation(self.name, projected_schema, rows)
 
     def natural_join(self, other: "Relation") -> "Relation":
-        """Natural join on all shared attribute names (hash join)."""
-        shared = self.schema.common_attributes(other.schema)
+        """Natural join on all shared attribute names (hash join).
+
+        On the columnar path the hash table is keyed on views of the shared
+        key columns and the output is gathered with fancy indexing, so full
+        result rows are never materialised as tuples.
+        """
         joined_schema = self.schema.join(other.schema)
+        left_store = self._columns()
+        right_store = other._columns() if left_store is not None else None
+        if left_store is not None and right_store is not None:
+            return self._natural_join_columnar(
+                other, joined_schema, left_store, right_store
+            )
+        return self._natural_join_rows(other, joined_schema)
+
+    def _natural_join_columnar(
+        self,
+        other: "Relation",
+        joined_schema: Schema,
+        left_store: ColumnStore,
+        right_store: ColumnStore,
+    ) -> "Relation":
+        shared = self.schema.common_attributes(other.schema)
+        right_extra = [
+            attribute.name
+            for attribute in other.schema
+            if attribute.name not in self.schema
+        ]
         if not shared:
-            # Cartesian product (needed for TPC-H style star joins where the
-            # join keys may arrive in later relations).
-            rows = [
-                left + right for left in self._rows for right in other._rows
-            ]
+            # Cartesian product (TPC-H style star joins).
+            left_idx = _np.repeat(_np.arange(len(self)), len(other))
+            right_idx = _np.tile(_np.arange(len(other)), len(self))
+        else:
+            right_keys = list(
+                zip(*(right_store.array(name).tolist() for name in shared))
+            )
+            buckets: dict[tuple[object, ...], list[int]] = {}
+            for position, key in enumerate(right_keys):
+                buckets.setdefault(key, []).append(position)
+            left_keys = list(
+                zip(*(left_store.array(name).tolist() for name in shared))
+            )
+            left_positions: list[int] = []
+            right_positions: list[int] = []
+            for position, key in enumerate(left_keys):
+                for match in buckets.get(key, ()):
+                    left_positions.append(position)
+                    right_positions.append(match)
+            left_idx = _np.array(left_positions, dtype=_np.int64)
+            right_idx = _np.array(right_positions, dtype=_np.int64)
+        arrays = [left_store.array(name)[left_idx] for name in self.schema.names]
+        arrays.extend(right_store.array(name)[right_idx] for name in right_extra)
+        store = ColumnStore(joined_schema, arrays, int(left_idx.shape[0]))
+        return Relation.from_store(f"{self.name}*{other.name}", store)
+
+    def _natural_join_rows(self, other: "Relation", joined_schema: Schema) -> "Relation":
+        shared = self.schema.common_attributes(other.schema)
+        left_rows = self._materialized()
+        right_rows = other._materialized()
+        if not shared:
+            rows = [left + right for left in left_rows for right in right_rows]
             return Relation(f"{self.name}*{other.name}", joined_schema, rows)
 
         left_key = [self.schema.index_of(name) for name in shared]
@@ -145,36 +297,60 @@ class Relation:
         ]
 
         buckets: dict[tuple[object, ...], list[tuple[object, ...]]] = {}
-        for row in other._rows:
+        for row in right_rows:
             key = tuple(row[i] for i in right_key)
             buckets.setdefault(key, []).append(row)
 
         rows = []
-        for row in self._rows:
+        for row in left_rows:
             key = tuple(row[i] for i in left_key)
             for match in buckets.get(key, ()):
                 rows.append(row + tuple(match[i] for i in right_extra))
         return Relation(f"{self.name}*{other.name}", joined_schema, rows)
 
     def order_by(self, attribute: str, descending: bool = True) -> "Relation":
-        """Stable sort by ``attribute`` (ties keep their current order)."""
+        """Stable sort by ``attribute`` (ties keep their current order).
+
+        ``None`` values sort last in both directions, preserving their
+        relative order, instead of raising ``TypeError``.
+        """
+        store = self._columns()
+        # The float view would sort float-parseable *strings* numerically,
+        # diverging from the row path's lexicographic order — so the columnar
+        # sort is only used for attributes declared numerical.
+        if (
+            store is not None
+            and attribute in self.schema
+            and self.schema.attribute(attribute).is_numerical
+        ):
+            order = store.argsort_by(attribute, descending)
+            if order is not None:
+                return Relation.from_store(self.name, store.take(order))
         index = self.schema.index_of(attribute)
-        ordered = sorted(
-            self._rows, key=lambda row: row[index], reverse=descending
-        )
-        return Relation(self.name, self.schema, ordered)
+        rows = self._materialized()
+        non_null = [row for row in rows if row[index] is not None]
+        nulls = [row for row in rows if row[index] is None]
+        ordered = sorted(non_null, key=lambda row: row[index], reverse=descending)
+        return Relation(self.name, self.schema, ordered + nulls)
 
     def head(self, k: int) -> "Relation":
         """The first ``k`` rows (the top-k of a ranked relation)."""
-        return Relation(self.name, self.schema, self._rows[:k])
+        store = self._columns()
+        if store is not None:
+            return Relation.from_store(self.name, store.head(k))
+        return Relation(self.name, self.schema, self._materialized()[:k])
 
     def concat(self, other: "Relation") -> "Relation":
         """Append the rows of ``other`` (schemas must match)."""
         if self.schema != other.schema:
             raise SchemaError("cannot concatenate relations with different schemas")
-        return Relation(self.name, self.schema, self._rows + other._rows)
+        return Relation(
+            self.name, self.schema, self._materialized() + other._materialized()
+        )
 
     def rename(self, name: str) -> "Relation":
+        if self._rows is None:
+            return Relation.from_store(name, self._store)
         return Relation(name, self.schema, self._rows)
 
     def with_column(
@@ -188,7 +364,7 @@ class Relation:
         names = self.schema.names
         new_schema = Schema(list(self.schema.attributes) + [attribute])
         rows = [
-            row + (compute(dict(zip(names, row))),) for row in self._rows
+            row + (compute(dict(zip(names, row))),) for row in self._materialized()
         ]
         return Relation(self.name, new_schema, rows)
 
@@ -197,7 +373,28 @@ class Relation:
     def count_where(self, condition: Callable[[dict], bool]) -> int:
         """Number of rows satisfying a row-dict predicate."""
         names = self.schema.names
-        return sum(1 for row in self._rows if condition(dict(zip(names, row))))
+        return sum(
+            1 for row in self._materialized() if condition(dict(zip(names, row)))
+        )
+
+    def group_count(self, conditions: Mapping[str, object]) -> int:
+        """Rows matching every ``attribute == value`` equality condition.
+
+        This is the vectorized membership count behind cardinality-constraint
+        evaluation; missing attributes read as ``None`` (row semantics).
+        """
+        store = self._columns()
+        if store is not None and all(
+            attribute in self.schema for attribute in conditions
+        ):
+            fast = store.count_conditions(conditions)
+            if fast is not None:
+                return fast
+        return self.count_where(
+            lambda row: all(
+                row.get(attribute) == value for attribute, value in conditions.items()
+            )
+        )
 
     def min_max(self, attribute: str) -> tuple[float, float]:
         """Minimum and maximum of a numerical attribute (ignores ``None``)."""
@@ -209,4 +406,4 @@ class Relation:
         return min(values), max(values)
 
     def __repr__(self) -> str:
-        return f"Relation({self.name!r}, rows={len(self._rows)}, schema={self.schema!r})"
+        return f"Relation({self.name!r}, rows={len(self)}, schema={self.schema!r})"

@@ -1,0 +1,191 @@
+"""Regression tests for the relational-layer crash fixes.
+
+1. ``QueryExecutor._join`` raises :class:`QueryError` on an empty table list
+   (previously a bare ``IndexError``; a dead ``joined is None`` branch hid it).
+2. ``Relation.order_by`` sorts ``None`` ranking values last deterministically
+   (previously ``TypeError``), and ``RankedResult.scores`` zeroes them.
+3. ``Relation.domain`` keeps mixed ``int``/``float`` numeric domains in one
+   ordered run (previously split into two runs by type name).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.relational import (
+    Conjunction,
+    Database,
+    NumericalPredicate,
+    QueryExecutor,
+    Relation,
+    Schema,
+    SPJQuery,
+)
+from repro.relational.columnar import numpy_available, rowwise_fallback
+from repro.relational.schema import categorical, numerical
+
+
+@pytest.fixture
+def nullable_scores():
+    schema = Schema([categorical("id"), numerical("score")])
+    rows = [
+        ("a", 2),
+        ("b", None),
+        ("c", 5),
+        ("d", None),
+        ("e", 3),
+    ]
+    return Relation("r", schema, rows)
+
+
+class TestEmptyJoin:
+    def test_join_of_empty_table_list_raises_query_error(self, students_db):
+        executor = QueryExecutor(students_db)
+        with pytest.raises(QueryError):
+            executor._join(())
+
+    def test_query_constructor_still_rejects_empty_tables(self):
+        with pytest.raises(QueryError):
+            SPJQuery(tables=[], where=(), order_by="x")
+
+
+class TestJoinCacheInvalidation:
+    def test_replacing_a_relation_invalidates_cached_results(self):
+        schema = Schema([categorical("id"), numerical("score")])
+        database = Database([Relation("r", schema, [("a", 1), ("b", 2)])])
+        query = SPJQuery(tables=["r"], where=(), order_by="score", name="q")
+        executor = QueryExecutor(database)
+        assert len(executor.evaluate(query)) == 2
+        database.add(Relation("r", schema, [("a", 1), ("b", 2), ("c", 3)]))
+        assert len(executor.evaluate(query)) == 3
+        # The stale entry is replaced, not kept alongside (bounded memory).
+        assert len(executor._join_cache) == 1
+        assert len(executor._ordered_cache) == 1
+
+
+class TestNullOrdering:
+    def test_order_by_descending_puts_nulls_last(self, nullable_scores):
+        ordered = nullable_scores.order_by("score")
+        assert [row[0] for row in ordered] == ["c", "e", "a", "b", "d"]
+
+    def test_order_by_ascending_puts_nulls_last(self, nullable_scores):
+        ordered = nullable_scores.order_by("score", descending=False)
+        assert [row[0] for row in ordered] == ["a", "e", "c", "b", "d"]
+
+    def test_rowwise_fallback_agrees_on_null_ordering(self, nullable_scores):
+        fast = [row[0] for row in nullable_scores.order_by("score")]
+        with rowwise_fallback():
+            relation = Relation(
+                nullable_scores.name, nullable_scores.schema, nullable_scores.rows
+            )
+            slow = [row[0] for row in relation.order_by("score")]
+        assert fast == slow
+
+    def test_ranked_result_scores_zeroes_nulls(self, nullable_scores):
+        database = Database([nullable_scores])
+        query = SPJQuery(tables=["r"], where=(), order_by="score", name="nulls")
+        result = QueryExecutor(database).evaluate(query)
+        assert result.scores() == [5.0, 3.0, 2.0, 0.0, 0.0]
+
+    def test_min_max_ignores_nulls(self, nullable_scores):
+        assert nullable_scores.min_max("score") == (2.0, 5.0)
+
+    def test_selection_on_nullable_column_excludes_nulls(self, nullable_scores):
+        condition = Conjunction([NumericalPredicate("score", ">=", 0)])
+        selected = nullable_scores.select(condition)
+        assert [row[0] for row in selected] == ["a", "c", "e"]
+
+
+class TestOrderingParityAndSelectIdentity:
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy for parity")
+    def test_float_parseable_strings_sort_lexicographically_on_both_engines(self):
+        schema = Schema([categorical("id")])
+        rows = [("1",), ("10",), ("2",)]
+        fast = [row[0] for row in Relation("r", schema, rows).order_by("id", descending=False)]
+        with rowwise_fallback():
+            slow = [row[0] for row in Relation("r", schema, rows).order_by("id", descending=False)]
+        assert fast == slow == ["1", "10", "2"]
+
+    def test_empty_conjunction_select_returns_the_relation_itself(self, nullable_scores):
+        assert nullable_scores.select(Conjunction()) is nullable_scores
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy for parity")
+    def test_zero_column_projection_preserves_row_count(self, nullable_scores):
+        fast = nullable_scores.project([]).head(2)
+        with rowwise_fallback():
+            relation = Relation(
+                nullable_scores.name, nullable_scores.schema, nullable_scores.rows
+            )
+            slow = relation.project([]).head(2)
+        assert len(fast) == len(slow) == 2
+        assert fast.rows == slow.rows == [(), ()]
+
+
+class TestNullsThroughTheNaiveBaselines:
+    """NULLs in the ranking or predicate attributes must not crash setup."""
+
+    def _database(self):
+        schema = Schema([categorical("id"), categorical("grp"), numerical("x"), numerical("s")])
+        rows = [
+            ("a", "F", 1.0, 10.0),
+            ("b", "F", None, 9.0),   # dead: None fails every numerical predicate
+            ("c", "M", 2.0, None),   # NULL ranking value: sorts last, scores 0
+            ("d", "M", 3.0, 7.0),
+            ("e", "F", 4.0, 6.0),
+        ]
+        return Database([Relation("r", schema, rows)])
+
+    def _query(self):
+        return SPJQuery(
+            tables=["r"],
+            where=[NumericalPredicate("x", ">=", 2)],
+            order_by="s",
+            name="nullable",
+        )
+
+    def test_annotation_drops_dead_tuples_and_zeroes_null_scores(self):
+        from repro.provenance.lineage import annotate
+
+        annotated = annotate(self._query(), self._database())
+        ids = [t.values["id"] for t in annotated.tuples]
+        assert "b" not in ids  # dead tuple omitted, not a float(None) crash
+        scores = {t.values["id"]: t.score for t in annotated.tuples}
+        assert scores["c"] == 0.0
+
+    def test_naive_searches_run_end_to_end_on_both_engines(self):
+        from repro.core import ConstraintSet, NaiveProvenanceSearch, NaiveSearch, at_least
+
+        constraints = ConstraintSet([at_least(1, 3, grp="F")])
+
+        def run(cls):
+            return cls(self._database(), self._query(), constraints, epsilon=0.5).search()
+
+        for cls in (NaiveSearch, NaiveProvenanceSearch):
+            fast = run(cls)
+            with rowwise_fallback():
+                slow = run(cls)
+            assert fast.feasible and slow.feasible
+            assert fast.refinement == slow.refinement
+            assert fast.distance_value == slow.distance_value
+
+
+class TestMixedNumericDomain:
+    def test_domain_orders_mixed_int_float_numerically(self):
+        schema = Schema([numerical("x")])
+        relation = Relation("r", schema, [(1.5,), (1,), (2,), (0.5,), (None,)])
+        assert relation.domain("x") == [0.5, 1, 1.5, 2]
+
+    def test_domain_with_non_numeric_values_stays_deterministic(self):
+        schema = Schema([categorical("x")])
+        relation = Relation("r", schema, [("b",), ("a",), ("b",)])
+        assert relation.domain("x") == ["a", "b"]
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy for parity")
+    def test_domain_is_engine_independent(self):
+        schema = Schema([numerical("x")])
+        rows = [(3,), (1.25,), (2,), (1,), (2.5,)]
+        fast = Relation("r", schema, rows).domain("x")
+        with rowwise_fallback():
+            slow = Relation("r", schema, rows).domain("x")
+        assert fast == slow == [1, 1.25, 2, 2.5, 3]
