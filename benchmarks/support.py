@@ -203,22 +203,39 @@ def run_naive(
     epsilon: float = DEFAULT_EPSILON,
     timeout: float | None = None,
     bundle: DatasetBundle | None = None,
+    batched_sweeps: bool = True,
 ) -> RunRecord:
-    """Run one exhaustive-search configuration and record its timings."""
+    """Run one exhaustive-search configuration and record its timings.
+
+    ``batched_sweeps=False`` (Naive+prov only) restores the per-candidate
+    threshold evaluation the sweep-batching benchmark compares against.
+    """
     bundle = bundle or dataset_bundle(dataset)
-    search_class = NaiveProvenanceSearch if use_provenance else NaiveSearch
-    search = search_class(
-        bundle.database,
-        bundle.query,
-        constraints,
-        epsilon=epsilon,
-        distance=distance,
-        timeout=timeout if timeout is not None else TIMEOUT_SECONDS,
-    )
+    if use_provenance:
+        search = NaiveProvenanceSearch(
+            bundle.database,
+            bundle.query,
+            constraints,
+            epsilon=epsilon,
+            distance=distance,
+            timeout=timeout if timeout is not None else TIMEOUT_SECONDS,
+            batched_sweeps=batched_sweeps,
+        )
+        algorithm = "NAIVE+PROV" if batched_sweeps else "NAIVE+PROV/percand"
+    else:
+        search = NaiveSearch(
+            bundle.database,
+            bundle.query,
+            constraints,
+            epsilon=epsilon,
+            distance=distance,
+            timeout=timeout if timeout is not None else TIMEOUT_SECONDS,
+        )
+        algorithm = "NAIVE"
     result = search.search()
     return RunRecord(
         dataset=dataset,
-        algorithm="NAIVE+PROV" if use_provenance else "NAIVE",
+        algorithm=algorithm,
         distance=search.distance.code,
         feasible=result.feasible,
         timed_out=result.timed_out,

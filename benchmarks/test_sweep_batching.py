@@ -1,0 +1,50 @@
+"""Benchmark: batched refinement sweeps vs. per-candidate evaluation.
+
+``Naive+prov`` evaluates thousands of candidate refinements over the shared
+``~Q(D)``.  The batched-sweep engine resolves every numerical candidate
+threshold with one ``searchsorted`` call per predicate up front, caches the
+per-threshold masks across the sweep, and counts constraint deviations
+straight off the candidate's positions; the per-candidate baseline
+(``batched_sweeps=False``) reconstructs the previous engine — one scalar
+``searchsorted`` and a fresh mask per predicate per candidate, plus an eager
+per-candidate column gather.
+
+The comparison runs on the reduced meps workload (the Figure 3 configuration
+that motivated the vectorized engine) and both records are appended to
+``benchmarks/results/latest.txt``.  The guard asserts the batched path is at
+least 2x faster, so the speedup cannot silently regress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.support import default_constraint_set, print_records, run_naive
+
+pytestmark = pytest.mark.perf_smoke
+
+#: Required solve-time ratio (per-candidate / batched) on the reduced meps
+#: workload; measured ~3x on a laptop, 2x leaves head room for noisy CI boxes.
+MINIMUM_SPEEDUP = 2.0
+
+
+def test_batched_sweeps_are_at_least_twice_as_fast_on_reduced_meps():
+    constraints = default_constraint_set("meps")
+    # Warm the dataset cache (and the interpreter) outside the timed runs.
+    run_naive("meps", constraints, use_provenance=True)
+
+    per_candidate = run_naive(
+        "meps", constraints, use_provenance=True, batched_sweeps=False
+    )
+    batched = run_naive("meps", constraints, use_provenance=True, batched_sweeps=True)
+    print_records("sweep batching (meps, Naive+prov)", [per_candidate, batched])
+
+    assert batched.feasible and per_candidate.feasible
+    assert batched.distance_value == per_candidate.distance_value
+    assert batched.deviation == per_candidate.deviation
+    speedup = per_candidate.solve_seconds / max(batched.solve_seconds, 1e-9)
+    assert speedup >= MINIMUM_SPEEDUP, (
+        f"batched sweep solve {batched.solve_seconds:.3f}s is only "
+        f"{speedup:.2f}x faster than the per-candidate path "
+        f"{per_candidate.solve_seconds:.3f}s; expected >= {MINIMUM_SPEEDUP:.1f}x"
+    )

@@ -120,14 +120,18 @@ class CardinalityConstraint:
 
     def deviation(self, result: RankedResult) -> float:
         """Relative violation of this single constraint on ``result``."""
-        return self.shortfall(self.count_in(result)) / self._denominator()
+        return self.shortfall(self.count_in(result)) / self.denominator()
 
     def is_satisfied(self, result: RankedResult) -> bool:
         return self.shortfall(self.count_in(result)) == 0
 
-    def _denominator(self) -> float:
-        # The paper divides by n; an upper bound of 0 ("no tuples of G in the
-        # top-k") would otherwise divide by zero, so clamp at 1.
+    def denominator(self) -> float:
+        """The paper's relative-violation normaliser ``n``.
+
+        An upper bound of 0 ("no tuples of G in the top-k") would otherwise
+        divide by zero, so clamp at 1.  Public so count-based fast paths
+        (e.g. the batched Naive+prov deviation) share the one clamp rule.
+        """
         return float(max(self.bound, 1))
 
     def label(self) -> str:

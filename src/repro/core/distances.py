@@ -110,6 +110,24 @@ class PredicateDistance(DistanceMeasure):
     ) -> float:
         return self.evaluate_queries(query, refined_query)
 
+    def evaluate_refinement(self, query: SPJQuery, refinement) -> float:
+        """Predicate distance straight from a :class:`Refinement`'s parameter maps.
+
+        Equivalent to :meth:`evaluate_queries` on ``refinement.apply(query)``
+        but without rebuilding the refined query's predicate dictionaries —
+        the exhaustive baselines call this once per candidate.
+        """
+        total = 0.0
+        for predicate in query.numerical_predicates:
+            key = (predicate.attribute, predicate.operator)
+            constant = refinement.numerical.get(key, predicate.constant)
+            normaliser = abs(predicate.constant) if predicate.constant else 1.0
+            total += abs(predicate.constant - constant) / normaliser
+        for predicate in query.categorical_predicates:
+            values = refinement.categorical.get(predicate.attribute, predicate.values)
+            total += _jaccard(predicate.values, values)
+        return total
+
     def evaluate_queries(self, query: SPJQuery, refined_query: SPJQuery) -> float:
         """Predicate distance needs only the two queries, not their outputs."""
         refined_numerical = {

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.constraints import ConstraintSet
-from repro.core.distances import DistanceMeasure, get_distance
+from repro.core.distances import DistanceMeasure, PredicateDistance, get_distance
 from repro.core.refinement import Refinement, RefinementSpace
 from repro.provenance.lineage import AnnotatedDatabase, annotate_result
 from repro.relational import columnar
@@ -75,6 +75,7 @@ class _BaseExhaustiveSearch:
         self.timeout = timeout
         self.max_candidates = max_candidates
         self._executor = QueryExecutor(database)
+        self._space: RefinementSpace | None = None
 
     def search(self) -> NaiveResult:
         """Enumerate the refinement space and return the closest acceptable refinement."""
@@ -86,8 +87,14 @@ class _BaseExhaustiveSearch:
             self.query, self._executor.evaluate_unfiltered(self.query)
         )
         space = RefinementSpace(self.query, annotated)
+        self._space = space
         self._prepare(annotated)
         setup_seconds = time.perf_counter() - setup_started
+        # Predicate distance depends only on the refinement's parameter maps,
+        # so the hot loop can skip rebuilding the refined query's dicts.
+        predicate_distance = (
+            self.distance if isinstance(self.distance, PredicateDistance) else None
+        )
 
         best: tuple[float, Refinement, SPJQuery, RankedResult, float] | None = None
         examined = 0
@@ -107,16 +114,21 @@ class _BaseExhaustiveSearch:
             refined_result = self._evaluate(refinement, refined_query)
             if len(refined_result) < self.constraints.k_star:
                 continue
-            deviation = self.constraints.deviation(refined_result)
+            deviation = self._deviation(refined_result)
             if deviation > self.epsilon + 1e-9:
                 continue
-            distance_value = self.distance.evaluate(
-                self.query,
-                refined_query,
-                original_result,
-                refined_result,
-                self.constraints.k_star,
-            )
+            if predicate_distance is not None:
+                distance_value = predicate_distance.evaluate_refinement(
+                    self.query, refinement
+                )
+            else:
+                distance_value = self.distance.evaluate(
+                    self.query,
+                    refined_query,
+                    original_result,
+                    refined_result,
+                    self.constraints.k_star,
+                )
             if best is None or distance_value < best[0] - 1e-12:
                 best = (distance_value, refinement, refined_query, refined_result, deviation)
         search_seconds = time.perf_counter() - search_started
@@ -149,6 +161,10 @@ class _BaseExhaustiveSearch:
     def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
         raise NotImplementedError
 
+    def _deviation(self, refined_result: RankedResult) -> float:
+        """Constraint deviation of a candidate (overridable fast path)."""
+        return self.constraints.deviation(refined_result)
+
 
 class NaiveSearch(_BaseExhaustiveSearch):
     """The paper's ``Naive``: every candidate is re-evaluated on the DBMS."""
@@ -163,11 +179,20 @@ class _CandidateMaskIndex:
     """Precomputed per-atom masks over the rank-ordered ``~Q(D)``.
 
     Candidate refinements are evaluated by AND-ing one boolean mask per
-    predicate: numerical thresholds are resolved with ``searchsorted`` against
-    the pre-sorted column (NULL positions excluded up front, so they can never
-    match), categorical value sets OR together per-value masks, and DISTINCT
+    predicate: numerical thresholds are resolved against the pre-sorted
+    column (NULL positions excluded up front, so they can never match),
+    categorical value sets OR together per-value masks, and DISTINCT
     de-duplication keeps the first (best-ranked) position of each precomputed
     distinct-key code.
+
+    Numerical thresholds are resolved in *batch*: :meth:`prepare_sweep`
+    answers an entire refinement sweep with one ``searchsorted`` call per
+    predicate, yielding a positions-per-threshold table (each threshold maps
+    to a ``[start, stop)`` window of the value-sorted position array).  Per
+    candidate that leaves a dict lookup, and each threshold's boolean part
+    mask is built at most once per sweep (within a memory budget; above it,
+    only the most recent mask per predicate is kept, which still serves the
+    outer predicates of the nested enumeration).
     """
 
     def __init__(self, length, numeric_index, value_masks, distinct_codes) -> None:
@@ -175,6 +200,14 @@ class _CandidateMaskIndex:
         self._numeric = numeric_index
         self._value_masks = value_masks
         self._distinct_codes = distinct_codes
+        #: (attribute, operator) -> {threshold: (start, stop) into the order array}
+        self._windows: dict = {}
+        #: (attribute, operator) -> {threshold: mask} of built part masks.  The
+        #: whole sweep is kept when it fits the memory budget (so the inner
+        #: predicates of a nested enumeration pay for each mask exactly once);
+        #: otherwise only the most recent mask per predicate is retained.
+        self._parts: dict = {}
+        self._keep_all_parts = True
 
     @classmethod
     def build(cls, query: SPJQuery, base: Relation) -> "_CandidateMaskIndex | None":
@@ -207,35 +240,94 @@ class _CandidateMaskIndex:
                 return None
         return cls(store.length, numeric_index, value_masks, distinct_codes)
 
-    def selected_positions(self, refined_query: SPJQuery):
-        """Rank-ordered positions of ``~Q(D)`` selected by the refined query."""
-        mask = _np.ones(self._length, dtype=bool)
-        for predicate in refined_query.numerical_predicates:
+    def prepare_sweep(self, query: SPJQuery, space) -> None:
+        """Batch-resolve every candidate threshold of a refinement sweep.
+
+        One ``searchsorted`` call per numerical predicate (two for the
+        two-sided ``=`` operator) maps the predicate's entire candidate list
+        to ``[start, stop)`` windows of its value-sorted position array — the
+        positions-per-threshold table that :meth:`selected_positions` then
+        answers candidates from without ever searching again.
+        """
+        total_masks = 0
+        for predicate in query.numerical_predicates:
+            key = (predicate.attribute, predicate.operator)
             entry = self._numeric.get(predicate.attribute)
             if entry is None:
+                continue
+            _, sorted_values = entry
+            thresholds = _np.asarray(
+                space.numerical_candidates(key), dtype=float
+            )
+            total_masks += thresholds.shape[0]
+            self._windows[key] = dict(
+                zip(
+                    thresholds.tolist(),
+                    self._batched_windows(
+                        sorted_values, thresholds, predicate.operator
+                    ),
+                )
+            )
+        # One bool per row per cached mask; cap the sweep-wide cache at ~64 MB.
+        self._keep_all_parts = total_masks * self._length <= 64_000_000
+
+    @staticmethod
+    def _batched_windows(sorted_values, thresholds, operator):
+        """``[start, stop)`` windows for many thresholds of one predicate."""
+        total = int(sorted_values.shape[0])
+        if operator is Operator.GREATER_EQUAL:
+            cuts = _np.searchsorted(sorted_values, thresholds, side="left")
+            return [(int(cut), total) for cut in cuts]
+        if operator is Operator.GREATER:
+            cuts = _np.searchsorted(sorted_values, thresholds, side="right")
+            return [(int(cut), total) for cut in cuts]
+        if operator is Operator.LESS_EQUAL:
+            cuts = _np.searchsorted(sorted_values, thresholds, side="right")
+            return [(0, int(cut)) for cut in cuts]
+        if operator is Operator.LESS:
+            cuts = _np.searchsorted(sorted_values, thresholds, side="left")
+            return [(0, int(cut)) for cut in cuts]
+        low = _np.searchsorted(sorted_values, thresholds, side="left")
+        high = _np.searchsorted(sorted_values, thresholds, side="right")
+        return [(int(lo), int(hi)) for lo, hi in zip(low, high)]
+
+    def _numeric_part(self, predicate, batched: bool):
+        """Boolean mask of one numerical predicate (cached per sweep threshold)."""
+        key = (predicate.attribute, predicate.operator)
+        constant = predicate.constant
+        if batched:
+            cached = self._parts.get(key)
+            if cached is not None:
+                part = cached.get(constant)
+                if part is not None:
+                    return part
+        entry = self._numeric.get(predicate.attribute)
+        if entry is None:
+            return None
+        order, sorted_values = entry
+        window = self._windows.get(key, {}).get(constant) if batched else None
+        if window is None:
+            window = self._batched_windows(
+                sorted_values, _np.asarray([constant], dtype=float), predicate.operator
+            )[0]
+        start, stop = window
+        part = _np.zeros(self._length, dtype=bool)
+        part[order[start:stop]] = True
+        if batched:
+            if self._keep_all_parts:
+                self._parts.setdefault(key, {})[constant] = part
+            else:
+                self._parts[key] = {constant: part}
+        return part
+
+    def selected_positions(self, refined_query: SPJQuery, batched: bool = True):
+        """Rank-ordered positions of ``~Q(D)`` selected by the refined query."""
+        parts = []
+        for predicate in refined_query.numerical_predicates:
+            part = self._numeric_part(predicate, batched)
+            if part is None:
                 return None
-            order, sorted_values = entry
-            constant = predicate.constant
-            operator = predicate.operator
-            if operator is Operator.GREATER_EQUAL:
-                cut = _np.searchsorted(sorted_values, constant, side="left")
-                positions = order[cut:]
-            elif operator is Operator.GREATER:
-                cut = _np.searchsorted(sorted_values, constant, side="right")
-                positions = order[cut:]
-            elif operator is Operator.LESS_EQUAL:
-                cut = _np.searchsorted(sorted_values, constant, side="right")
-                positions = order[:cut]
-            elif operator is Operator.LESS:
-                cut = _np.searchsorted(sorted_values, constant, side="left")
-                positions = order[:cut]
-            else:  # EQUAL
-                low = _np.searchsorted(sorted_values, constant, side="left")
-                high = _np.searchsorted(sorted_values, constant, side="right")
-                positions = order[low:high]
-            part = _np.zeros(self._length, dtype=bool)
-            part[positions] = True
-            mask &= part
+            parts.append(part)
         for predicate in refined_query.categorical_predicates:
             masks = self._value_masks.get(predicate.attribute)
             if masks is None:
@@ -244,10 +336,15 @@ class _CandidateMaskIndex:
             if not selected:
                 return _np.empty(0, dtype=_np.int64)
             if len(selected) == 1:
-                mask &= selected[0]
+                parts.append(selected[0])
             else:
-                mask &= _np.logical_or.reduce(selected)
-        positions = _np.flatnonzero(mask)
+                parts.append(_np.logical_or.reduce(selected))
+        if not parts:
+            positions = _np.arange(self._length)
+        elif len(parts) == 1:
+            positions = _np.flatnonzero(parts[0])
+        else:
+            positions = _np.flatnonzero(_np.logical_and.reduce(parts))
         if self._distinct_codes is not None and positions.size:
             codes = self._distinct_codes[positions]
             _, first = _np.unique(codes, return_index=True)
@@ -256,16 +353,26 @@ class _CandidateMaskIndex:
 
 
 class NaiveProvenanceSearch(_BaseExhaustiveSearch):
-    """The paper's ``Naive+prov``: candidates are evaluated on the annotations."""
+    """The paper's ``Naive+prov``: candidates are evaluated on the annotations.
+
+    ``batched_sweeps`` (default on) resolves every numerical candidate
+    threshold up front with one batched ``searchsorted`` per predicate and
+    reuses per-predicate masks across the sweep; turning it off restores the
+    per-candidate evaluation of the plain columnar engine, which the
+    sweep-batching benchmark uses as its baseline.
+    """
 
     method = "naive+prov"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, batched_sweeps: bool = True, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._batched = bool(batched_sweeps)
         self._annotated: AnnotatedDatabase | None = None
         self._schema = None
         self._base: Relation | None = None
         self._fast: _CandidateMaskIndex | None = None
+        self._group_masks: dict | None = None
+        self._positions = None
 
     def _prepare(self, annotated: AnnotatedDatabase) -> None:
         self._annotated = annotated
@@ -276,6 +383,62 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         self._base = unfiltered.relation
         self._schema = unfiltered.relation.schema
         self._fast = _CandidateMaskIndex.build(self.query, self._base)
+        if self._fast is not None and self._batched and self._space is not None:
+            self._fast.prepare_sweep(self.query, self._space)
+        store = self._base.column_store()
+        if store is not None:
+            # Warm the factorizations the per-candidate deviation counts
+            # read, so lazily-gathered top-k slices inherit them instead of
+            # re-factorizing per candidate.
+            for constraint in self.constraints:
+                for attribute in constraint.group.attributes:
+                    if attribute in self._base.schema:
+                        store.codes(attribute)
+            self._group_masks = self._build_group_masks(store)
+
+    def _build_group_masks(self, store) -> dict | None:
+        """One boolean membership mask over ``~Q(D)`` per constraint group.
+
+        Candidate deviations then reduce to counting mask hits among the
+        candidate's top-k positions.  ``None`` (falling back to the generic
+        :meth:`ConstraintSet.deviation`) when a group condition cannot be
+        resolved through the column codes with identical semantics.
+        """
+        masks: dict = {}
+        for constraint in self.constraints:
+            group = constraint.group
+            if group in masks:
+                continue
+            mask = _np.ones(store.length, dtype=bool)
+            for attribute, value in group.condition_map.items():
+                if attribute not in self._base.schema:
+                    return None
+                factorized = store.codes(attribute)
+                if factorized is None:
+                    return None
+                codes, mapping = factorized
+                try:
+                    code = mapping.get(value)
+                except TypeError:
+                    return None
+                if code is None:
+                    mask = _np.zeros(store.length, dtype=bool)
+                    break
+                mask &= codes == code
+            masks[group] = mask
+        return masks
+
+    def _deviation(self, refined_result: RankedResult) -> float:
+        """Deviation from the candidate's positions over the shared group masks."""
+        positions = self._positions
+        if positions is None or self._group_masks is None:
+            return self.constraints.deviation(refined_result)
+        total = 0.0
+        for constraint in self.constraints:
+            topk = positions[: constraint.k]
+            count = int(self._group_masks[constraint.group][topk].sum())
+            total += constraint.shortfall(count) / constraint.denominator()
+        return total / len(self.constraints)
 
     def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
         """Evaluate a refinement directly on ``~Q(D)`` without touching the database.
@@ -287,10 +450,19 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         the row-based reference below remains for parity testing and as the
         NumPy-free fallback.
         """
+        self._positions = None
         if self._fast is not None:
-            positions = self._fast.selected_positions(refined_query)
+            positions = self._fast.selected_positions(refined_query, self._batched)
             if positions is not None:
+                if self._batched:
+                    self._positions = positions
                 relation = self._base.take(positions).rename(refined_query.name)
+                if not self._batched:
+                    # Reconstruct the pre-batching cost model: the old engine
+                    # gathered every column and cached view per candidate.
+                    store = relation.column_store()
+                    if store is not None:
+                        store.materialize()
                 projected = (
                     relation.project(list(refined_query.select))
                     if refined_query.select

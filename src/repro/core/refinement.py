@@ -65,8 +65,14 @@ class Refinement:
                 if predicate.attribute in self.categorical:
                     predicate = predicate.with_values(self.categorical[predicate.attribute])
             predicates.append(predicate)
-        refined = query.with_where(Conjunction(predicates))
-        return refined.with_name(f"{query.name}'")
+        return SPJQuery(
+            tables=query.tables,
+            where=Conjunction(predicates),
+            order_by=query.order_by,
+            select=query.select,
+            distinct=query.distinct,
+            name=f"{query.name}'",
+        )
 
     def is_identity(self, query: SPJQuery) -> bool:
         """Whether applying this refinement to ``query`` changes nothing."""

@@ -1,10 +1,17 @@
-"""An in-memory relational engine for conjunctive SPJ queries with ranking.
+"""A relational engine for conjunctive SPJ queries with ranking.
 
 The paper evaluates refinements over a DBMS (DuckDB).  This subpackage is the
-stand-in substrate: it provides schemas, relations, selection predicates,
-Select-Project-Join queries with ``ORDER BY`` and ``DISTINCT``, an executor
-producing ranked results, and a sqlite-backed executor used to cross-check the
-in-memory engine against a real SQL engine.
+stand-in substrate: schemas, dual-representation relations (row tuples and a
+NumPy column store, converted lazily), selection predicates, and
+Select-Project-Join queries with ``ORDER BY`` and ``DISTINCT``.
+
+Queries run through :class:`QueryExecutor`, which offers two byte-identical
+execution backends: the in-memory engine (vectorized when NumPy is available,
+row-at-a-time otherwise) and a sqlite pushdown backend that evaluates
+selection, ordering and DISTINCT inside sqlite and only gathers result row
+coordinates back into Python.  Select a backend per executor
+(``QueryExecutor(db, backend="sqlite")``) or process-wide via the
+``REPRO_EXECUTOR_BACKEND`` environment variable.
 """
 
 from repro.relational.schema import Attribute, AttributeKind, Schema
@@ -17,7 +24,7 @@ from repro.relational.predicates import (
 )
 from repro.relational.query import OrderBy, SPJQuery
 from repro.relational.database import Database
-from repro.relational.executor import QueryExecutor, RankedResult
+from repro.relational.executor import EXECUTOR_BACKENDS, QueryExecutor, RankedResult
 from repro.relational.sqlgen import render_sql
 from repro.relational.sqlite_backend import SQLiteExecutor
 
@@ -27,6 +34,7 @@ __all__ = [
     "CategoricalPredicate",
     "Conjunction",
     "Database",
+    "EXECUTOR_BACKENDS",
     "NumericalPredicate",
     "Operator",
     "OrderBy",

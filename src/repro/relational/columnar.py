@@ -11,10 +11,18 @@ with two cached derived views per column:
 
 Selection evaluates a :class:`~repro.relational.predicates.Conjunction` as one
 boolean mask per predicate AND-ed together, instead of materialising a dict
-per row.  Every derived store produced by :meth:`ColumnStore.take` /
-:meth:`ColumnStore.head` / :meth:`ColumnStore.project` propagates the cached
-views, so repeated selections over the same base relation (the exhaustive
-baselines' hot loop) never re-derive them.
+per row.
+
+Derived stores produced by :meth:`ColumnStore.take` / :meth:`ColumnStore.head`
+/ :meth:`ColumnStore.project` are *deferred*: they record only the source
+store and the row coordinates, and gather a column (or a cached float/code
+view) the first time it is read, caching the result.  Chained derivations
+compose their coordinates so every store points straight at its eager root.
+This is what makes the exhaustive baselines cheap — a candidate refinement's
+result is a coordinate set over the shared ``~Q(D)`` store, and only the
+handful of columns its constraint counts actually touch are ever gathered.
+:meth:`ColumnStore.materialize` forces the old eager semantics (used by the
+benchmark suite to reconstruct the pre-batching cost model).
 
 The module degrades gracefully: when NumPy is unavailable — or vectorization
 is explicitly disabled via :func:`rowwise_fallback` — callers receive ``None``
@@ -69,14 +77,37 @@ def rowwise_fallback() -> Iterator[None]:
         _VECTORIZATION_ENABLED = previous
 
 
+def _compose_coordinates(base, indices, parent_length: int):
+    """Row coordinates equivalent to applying ``base`` then ``indices``.
+
+    ``base`` and ``indices`` are each either a slice or an int array; the
+    composition keeps deferred stores pointing at their eager root instead of
+    building chains of parents.
+    """
+    if isinstance(base, slice):
+        base_range = range(*base.indices(parent_length))
+        if isinstance(indices, slice):
+            sub = base_range[indices]
+            stop = sub.stop if sub.stop >= 0 else None
+            return slice(sub.start, stop, sub.step)
+        # Python-style negative positions count from the end of the *base*
+        # window, exactly as fancy indexing into the gathered array would.
+        indices = _np.where(indices < 0, indices + len(base_range), indices)
+        return (base_range.start + base_range.step * indices).astype(_np.int64)
+    return base[indices]
+
+
 class ColumnStore:
     """Column-wise storage of one relation's data.
 
     Arrays are ``object`` dtype and aligned with the schema; mutating them is
-    forbidden by convention (relations are immutable).
+    forbidden by convention (relations are immutable).  A store is either
+    *eager* (every column array present) or *deferred* (``_source`` holds the
+    eager parent store plus the row coordinates into it; columns and cached
+    views are gathered lazily on first access).
     """
 
-    __slots__ = ("schema", "length", "_arrays", "_numeric", "_codes")
+    __slots__ = ("schema", "length", "_arrays", "_numeric", "_codes", "_source")
 
     def __init__(self, schema: Schema, arrays: Sequence, length: int) -> None:
         self.schema = schema
@@ -84,6 +115,13 @@ class ColumnStore:
         self.length = int(length)
         self._numeric: dict = {}
         self._codes: dict = {}
+        self._source: tuple | None = None
+
+    @classmethod
+    def _deferred(cls, schema: Schema, parent: "ColumnStore", indices, length: int) -> "ColumnStore":
+        store = cls(schema, [None] * len(schema), length)
+        store._source = (parent, indices)
+        return store
 
     # -- construction ---------------------------------------------------------
 
@@ -101,14 +139,37 @@ class ColumnStore:
     # -- raw access ------------------------------------------------------------
 
     def array(self, name: str):
-        """The object-dtype array of one column."""
-        return self._arrays[self.schema.index_of(name)]
+        """The object-dtype array of one column (gathered on first access)."""
+        index = self.schema.index_of(name)
+        array = self._arrays[index]
+        if array is None:
+            parent, indices = self._source
+            array = self._arrays[index] = parent.array(name)[indices]
+        return array
 
     def to_rows(self) -> list[tuple]:
         """Materialise the stored columns back into row tuples."""
         if not self._arrays:
             return [() for _ in range(self.length)]
-        return list(zip(*(array.tolist() for array in self._arrays)))
+        return list(zip(*(self.array(name).tolist() for name in self.schema.names)))
+
+    def materialize(self) -> "ColumnStore":
+        """Force every column gather and parent-view propagation.
+
+        Restores the eager semantics derived stores had before gathering
+        became lazy; the sweep-batching benchmark uses it to reconstruct the
+        per-candidate cost of the old engine.
+        """
+        for name in self.schema.names:
+            self.array(name)
+        if self._source is not None:
+            parent, _ = self._source
+            for name in self.schema.names:
+                if name in parent._numeric:
+                    self.numeric(name)
+                if name in parent._codes:
+                    self.codes(name)
+        return self
 
     # -- derived views ---------------------------------------------------------
 
@@ -116,6 +177,13 @@ class ColumnStore:
         """``float64`` view of a column (``None`` -> NaN); ``None`` if impossible."""
         if name in self._numeric:
             return self._numeric[name]
+        if self._source is not None:
+            parent, indices = self._source
+            if name in parent._numeric:
+                view = parent._numeric[name]
+                view = None if view is None else view[indices]
+                self._numeric[name] = view
+                return view
         values = self.array(name).tolist()
         try:
             view = _np.array(
@@ -131,6 +199,17 @@ class ColumnStore:
         """``(codes, mapping)`` factorization of a column; ``None`` if unhashable."""
         if name in self._codes:
             return self._codes[name]
+        if self._source is not None:
+            parent, indices = self._source
+            if name in parent._codes:
+                factorized = parent._codes[name]
+                if factorized is None:
+                    self._codes[name] = None
+                    return None
+                codes, mapping = factorized
+                result = (codes[indices], mapping)
+                self._codes[name] = result
+                return result
         values = self.array(name).tolist()
         mapping: dict = {}
         codes = _np.empty(self.length, dtype=_np.int64)
@@ -147,33 +226,48 @@ class ColumnStore:
     # -- derivations (propagate cached views) ----------------------------------
 
     def take(self, indices) -> "ColumnStore":
-        """Gather rows by position (fancy indexing or a slice)."""
-        arrays = [array[indices] for array in self._arrays]
-        if arrays:
-            length = arrays[0].shape[0]
-        elif isinstance(indices, slice):
-            # Zero-column stores still carry a row count (cf. to_rows).
+        """Rows at the given coordinates (a slice or an integer array).
+
+        The result is a deferred store: no column is gathered until read.
+        Taking from a deferred store composes the coordinates, so derivation
+        chains stay one hop from the eager root.
+        """
+        if not isinstance(indices, (slice, _np.ndarray)):
+            indices = _np.asarray(indices, dtype=_np.int64)
+        if isinstance(indices, slice):
             length = len(range(*indices.indices(self.length)))
         else:
-            length = len(indices)
-        derived = ColumnStore(self.schema, arrays, length)
-        for name, view in self._numeric.items():
-            derived._numeric[name] = None if view is None else view[indices]
-        for name, factorized in self._codes.items():
-            if factorized is None:
-                derived._codes[name] = None
-            else:
-                codes, mapping = factorized
-                derived._codes[name] = (codes[indices], mapping)
-        return derived
+            if indices.dtype == bool:
+                # Boolean masks select rows; the derived length is the number
+                # of True entries, not the mask size.
+                indices = _np.flatnonzero(indices)
+            length = int(indices.shape[0])
+        parent, coordinates = self, indices
+        if self._source is not None:
+            parent, base = self._source
+            coordinates = _compose_coordinates(base, indices, parent.length)
+        return ColumnStore._deferred(self.schema, parent, coordinates, length)
 
     def head(self, k: int) -> "ColumnStore":
         return self.take(slice(0, max(k, 0)))
 
     def project(self, names: Sequence[str]) -> "ColumnStore":
         """Restrict to a subset of columns (arrays and views are shared)."""
+        projected = self.schema.project(names)
+        if self._source is not None:
+            parent, indices = self._source
+            derived = ColumnStore._deferred(projected, parent, indices, self.length)
+            for position, name in enumerate(names):
+                array = self._arrays[self.schema.index_of(name)]
+                if array is not None:
+                    derived._arrays[position] = array
+                if name in self._numeric:
+                    derived._numeric[name] = self._numeric[name]
+                if name in self._codes:
+                    derived._codes[name] = self._codes[name]
+            return derived
         derived = ColumnStore(
-            self.schema.project(names),
+            projected,
             [self.array(name) for name in names],
             self.length,
         )
@@ -183,6 +277,29 @@ class ColumnStore:
             if name in self._codes:
                 derived._codes[name] = self._codes[name]
         return derived
+
+    def with_column(self, schema: Schema, values: Sequence) -> "ColumnStore":
+        """A store extended with one appended column holding ``values``.
+
+        ``schema`` is the extended schema; cached views of the existing
+        columns carry over.
+        """
+        column = _np.empty(self.length, dtype=object)
+        for position, value in enumerate(values):
+            column[position] = value
+        arrays = [self.array(name) for name in self.schema.names]
+        derived = ColumnStore(schema, arrays + [column], self.length)
+        derived._numeric.update(self._numeric)
+        derived._codes.update(self._codes)
+        return derived
+
+    def concatenated(self, other: "ColumnStore") -> "ColumnStore":
+        """The rows of ``self`` followed by the rows of ``other`` (same schema)."""
+        arrays = [
+            _np.concatenate([self.array(name), other.array(name)])
+            for name in self.schema.names
+        ]
+        return ColumnStore(self.schema, arrays, self.length + other.length)
 
     # -- vectorized operators ---------------------------------------------------
 

@@ -1,14 +1,43 @@
-"""Evaluation of :class:`~repro.relational.query.SPJQuery` over a database."""
+"""Evaluation of :class:`~repro.relational.query.SPJQuery` over a database.
+
+Two execution backends sit behind :class:`QueryExecutor`:
+
+``memory`` (default)
+    The in-memory engine — columnar/vectorized when NumPy is available,
+    row-at-a-time otherwise — with per-query-shape join and ordered-join
+    caches.
+
+``sqlite``
+    Selection, ordering and DISTINCT pushed down into sqlite
+    (:mod:`repro.relational.sqlite_backend`); only result row coordinates
+    come back, and the executor gathers them column-wise from the original
+    relations, so the join is never materialised in Python.
+
+The backend is chosen per executor (``backend=`` constructor argument) or
+process-wide via the ``REPRO_EXECUTOR_BACKEND`` environment variable.  Both
+backends produce byte-identical :class:`RankedResult`\\ s.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.exceptions import QueryError
+from repro.relational.columnar import ColumnStore
 from repro.relational.database import Database
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+try:  # pragma: no cover - optional, gated via Relation.column_store()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Supported execution backends, in documentation order.
+EXECUTOR_BACKENDS = ("memory", "sqlite")
 
 
 @dataclass(frozen=True)
@@ -82,27 +111,45 @@ class RankedResult:
 
 
 class QueryExecutor:
-    """Evaluates SPJ queries over an in-memory :class:`Database`.
+    """Evaluates SPJ queries over a :class:`Database` via a pluggable backend.
 
-    The executor caches the joined relation per table list and the *ordered*
-    join per ``(tables, ORDER BY)`` pair: ordering before selecting is
-    equivalent to the textbook select-then-order pipeline because both sorts
-    are stable (filtering commutes with a stable sort), and it lets repeated
-    evaluations over the same tables — the exhaustive baselines re-evaluate
-    thousands of candidate refinements — skip the join and sort entirely.
-    Each cache holds one entry per query shape; swapping a relation in the
-    database replaces the stale entry on the next evaluation.
+    On the (default) ``memory`` backend the executor caches the joined
+    relation per table list and the *ordered* join per ``(tables, ORDER BY)``
+    pair: ordering before selecting is equivalent to the textbook
+    select-then-order pipeline because both sorts are stable (filtering
+    commutes with a stable sort), and it lets repeated evaluations over the
+    same tables — the exhaustive baselines re-evaluate thousands of candidate
+    refinements — skip the join and sort entirely.  Each cache holds one
+    entry per query shape; swapping a relation in the database replaces the
+    stale entry on the next evaluation.
+
+    On the ``sqlite`` backend the join, selection, ordering and DISTINCT all
+    run inside sqlite over indexed base tables; the executor only gathers the
+    returned row coordinates into a (columnar, when NumPy is available)
+    result relation.
     """
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, backend: str | None = None) -> None:
         self.database = database
+        if backend is None:
+            backend = os.environ.get("REPRO_EXECUTOR_BACKEND", "memory")
+        backend = backend.lower()
+        if backend not in EXECUTOR_BACKENDS:
+            raise QueryError(
+                f"unknown executor backend {backend!r}; "
+                f"available: {list(EXECUTOR_BACKENDS)}"
+            )
+        self.backend = backend
         self._join_cache: dict = {}
         self._ordered_cache: dict = {}
+        self._sqlite = None
 
     # -- public API --------------------------------------------------------------
 
     def evaluate(self, query: SPJQuery) -> RankedResult:
         """Evaluate ``query`` and return its ranked result."""
+        if self.backend == "sqlite":
+            return self._evaluate_sqlite(query)
         ordered_join = self._ordered_join(query)
         if query.distinct and query.select:
             # Warm the DISTINCT-key code views on the shared parent store
@@ -124,6 +171,81 @@ class QueryExecutor:
         """Evaluate the paper's ``~Q``: no selection, no DISTINCT, same ranking."""
         return self.evaluate(query.without_selection())
 
+    # -- sqlite pushdown -----------------------------------------------------------
+
+    def _evaluate_sqlite(self, query: SPJQuery) -> RankedResult:
+        """Push the whole query into sqlite and gather only the result rows."""
+        from repro.relational.sqlite_backend import SQLiteExecutor
+
+        schemas = [self.database.relation(name).schema for name in query.tables]
+        joined_schema = schemas[0]
+        for schema in schemas[1:]:
+            joined_schema = joined_schema.join(schema)
+        self._validate(query, joined_schema)
+
+        if self._sqlite is None:
+            self._sqlite = SQLiteExecutor(self.database)
+        else:
+            self._sqlite.refresh()
+        coordinates = self._sqlite.pushdown_positions(query)
+        relation = self._gather(query, joined_schema, coordinates)
+        if (
+            query.distinct
+            and query.select
+            and not self._sqlite.supports_distinct_pushdown
+        ):
+            relation = self._deduplicate(relation, query.select)
+        projected = relation.project(query.select) if query.select else relation
+        return RankedResult(query=query, relation=relation, projected=projected)
+
+    def _gather(
+        self,
+        query: SPJQuery,
+        joined_schema: Schema,
+        coordinates: Sequence[tuple[int, ...]],
+    ) -> Relation:
+        """Assemble the full-width result from per-table row coordinates.
+
+        Values are taken from the original relations (the same Python
+        objects the in-memory engines return), one fancy-indexed gather per
+        output column on the columnar path.
+        """
+        tables = query.tables
+        name = "*".join(tables)
+        relations = [self.database.relation(table) for table in tables]
+        source: dict[str, int] = {}
+        for position, relation in enumerate(relations):
+            for attribute in relation.schema.names:
+                source.setdefault(attribute, position)
+        count = len(coordinates)
+
+        stores = [relation.column_store() for relation in relations]
+        if all(store is not None for store in stores):
+            rid_arrays = [
+                _np.fromiter(
+                    (row[i] for row in coordinates), dtype=_np.int64, count=count
+                )
+                for i in range(len(tables))
+            ]
+            arrays = [
+                stores[source[attribute]].array(attribute)[rid_arrays[source[attribute]]]
+                for attribute in joined_schema.names
+            ]
+            return Relation.from_store(
+                name, ColumnStore(joined_schema, arrays, count)
+            )
+
+        table_rows = [relation.rows for relation in relations]
+        specs = [
+            (source[attribute], relations[source[attribute]].schema.index_of(attribute))
+            for attribute in joined_schema.names
+        ]
+        rows = [
+            tuple(table_rows[table][row[table]][column] for table, column in specs)
+            for row in coordinates
+        ]
+        return Relation(name, joined_schema, rows)
+
     # -- helpers -------------------------------------------------------------------
 
     def _join(self, tables: Sequence[str]) -> Relation:
@@ -144,7 +266,7 @@ class QueryExecutor:
 
     def _ordered_join(self, query: SPJQuery) -> Relation:
         joined = self._join(query.tables)
-        self._validate(query, joined)
+        self._validate(query, joined.schema)
         key = (query.tables, query.order_by.attribute, query.order_by.descending)
         cached = self._ordered_cache.get(key)
         if cached is None or cached[0] is not joined:
@@ -174,8 +296,7 @@ class QueryExecutor:
         return Relation(ordered.name, ordered.schema, kept)
 
     @staticmethod
-    def _validate(query: SPJQuery, joined: Relation) -> None:
-        schema = joined.schema
+    def _validate(query: SPJQuery, schema: Schema) -> None:
         unknown = [
             attribute
             for attribute in query.predicate_attributes

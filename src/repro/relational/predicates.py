@@ -150,10 +150,12 @@ Predicate = NumericalPredicate | CategoricalPredicate
 class Conjunction:
     """A conjunction (AND) of numerical and categorical predicates."""
 
-    __slots__ = ("_predicates",)
+    __slots__ = ("_predicates", "_numerical", "_categorical")
 
     def __init__(self, predicates: Sequence[Predicate] = ()) -> None:
         self._predicates = tuple(predicates)
+        self._numerical: list[NumericalPredicate] | None = None
+        self._categorical: list[CategoricalPredicate] | None = None
 
     @property
     def predicates(self) -> tuple[Predicate, ...]:
@@ -161,13 +163,21 @@ class Conjunction:
 
     @property
     def numerical(self) -> list[NumericalPredicate]:
-        """The paper's ``Num(Q)``."""
-        return [p for p in self._predicates if isinstance(p, NumericalPredicate)]
+        """The paper's ``Num(Q)`` (cached; treat the list as read-only)."""
+        if self._numerical is None:
+            self._numerical = [
+                p for p in self._predicates if isinstance(p, NumericalPredicate)
+            ]
+        return self._numerical
 
     @property
     def categorical(self) -> list[CategoricalPredicate]:
-        """The paper's ``Cat(Q)``."""
-        return [p for p in self._predicates if isinstance(p, CategoricalPredicate)]
+        """The paper's ``Cat(Q)`` (cached; treat the list as read-only)."""
+        if self._categorical is None:
+            self._categorical = [
+                p for p in self._predicates if isinstance(p, CategoricalPredicate)
+            ]
+        return self._categorical
 
     @property
     def attributes(self) -> list[str]:

@@ -6,9 +6,21 @@ tuples (the original API, used by the dataset generators and tests) or from a
 lazily from the other.  When NumPy is available every relational operator
 runs on the columnar representation — selection as boolean masks, ordering as
 a stable ``argsort``, joins as hash joins over key-column views with
-fancy-indexed gathers — and falls back to the original row-at-a-time
-implementation otherwise (or under
-:func:`repro.relational.columnar.rowwise_fallback`).
+fancy-indexed gathers, derived-column/concat/callable operators over column
+iterators — and falls back to the original row-at-a-time implementation
+otherwise (or under :func:`repro.relational.columnar.rowwise_fallback`).
+
+Dual-representation invariants:
+
+* At least one of ``_rows`` / ``_store`` is always populated; whichever side
+  is missing is derived on first use and cached (``_materialized()`` /
+  ``_columns()``).  Conversion never loses information — object-dtype columns
+  round-trip the same Python objects.
+* Both representations are immutable once attached: operators return new
+  relations, and the row order is the single source of ranking truth in both.
+* Every operator must produce identical rows, row order, and value *types* on
+  either representation; ``tests/relational/test_columnar_parity.py`` holds
+  the engines to byte-identical output on every registered dataset.
 """
 
 from __future__ import annotations
@@ -153,8 +165,23 @@ class Relation:
         return dict(zip(self.schema.names, self._materialized()[position]))
 
     def iter_dicts(self) -> Iterator[dict[str, object]]:
+        """Rows as attribute → value dicts, in row order.
+
+        Store-backed relations iterate straight over their columns instead of
+        materialising (and caching) the row tuples first.
+        """
         names = self.schema.names
-        for row in self._materialized():
+        if self._rows is None:
+            store = self._store
+            if not names:
+                for _ in range(store.length):
+                    yield {}
+                return
+            columns = [store.array(name).tolist() for name in names]
+            for row in zip(*columns):
+                yield dict(zip(names, row))
+            return
+        for row in self._rows:
             yield dict(zip(names, row))
 
     def value(self, position: int, attribute: str) -> object:
@@ -181,6 +208,19 @@ class Relation:
             predicate = condition.matches
         else:
             predicate = condition
+        store = self._columns()
+        if store is not None:
+            # Callable (or mask-incompatible) conditions still evaluate row by
+            # row, but the result stays columnar: a coordinate take over the
+            # shared store instead of a fresh row relation.
+            kept = [
+                position
+                for position, values in enumerate(self.iter_dicts())
+                if predicate(values)
+            ]
+            return Relation.from_store(
+                self.name, store.take(_np.asarray(kept, dtype=_np.int64))
+            )
         names = self.schema.names
         kept = [
             row
@@ -344,6 +384,10 @@ class Relation:
         """Append the rows of ``other`` (schemas must match)."""
         if self.schema != other.schema:
             raise SchemaError("cannot concatenate relations with different schemas")
+        left = self._columns()
+        right = other._columns() if left is not None else None
+        if left is not None and right is not None:
+            return Relation.from_store(self.name, left.concatenated(right))
         return Relation(
             self.name, self.schema, self._materialized() + other._materialized()
         )
@@ -363,6 +407,12 @@ class Relation:
             raise SchemaError(f"attribute {attribute.name!r} already exists")
         names = self.schema.names
         new_schema = Schema(list(self.schema.attributes) + [attribute])
+        store = self._columns()
+        if store is not None:
+            computed = [compute(values) for values in self.iter_dicts()]
+            return Relation.from_store(
+                self.name, store.with_column(new_schema, computed)
+            )
         rows = [
             row + (compute(dict(zip(names, row))),) for row in self._materialized()
         ]
@@ -372,10 +422,7 @@ class Relation:
 
     def count_where(self, condition: Callable[[dict], bool]) -> int:
         """Number of rows satisfying a row-dict predicate."""
-        names = self.schema.names
-        return sum(
-            1 for row in self._materialized() if condition(dict(zip(names, row)))
-        )
+        return sum(1 for values in self.iter_dicts() if condition(values))
 
     def group_count(self, conditions: Mapping[str, object]) -> int:
         """Rows matching every ``attribute == value`` equality condition.

@@ -1,8 +1,24 @@
-"""Executing SPJ queries on sqlite3 (standard library).
+"""SQLite execution backend for SPJ queries (standard library ``sqlite3``).
 
 The paper evaluates queries on DuckDB; sqlite plays that role here.  The
-backend is used for cross-checking the in-memory executor and in the examples
-to demonstrate that refined queries are ordinary SQL that any engine can run.
+backend is a first-class execution engine behind
+:class:`~repro.relational.executor.QueryExecutor` (selected with
+``QueryExecutor(db, backend="sqlite")`` or ``REPRO_EXECUTOR_BACKEND=sqlite``):
+selection, ordering and DISTINCT de-duplication are pushed down into sqlite,
+and only the *row coordinates* of the result cross back into Python, where the
+executor gathers them column-wise from the original relations — so paper-scale
+joins are never materialised as Python tuples.
+
+Pushdown queries are rendered once per query *shape* — the parameter-free
+skeleton of tables, predicate attributes/operators and IN-list sizes — with
+``?`` placeholders for every threshold and value.  Candidate refinements of
+the same query therefore reuse one compiled sqlite statement (the connection's
+statement cache is keyed on SQL text) with freshly bound parameters.  Join-key
+columns and the ranking attribute are indexed on first use.
+
+The original cross-check API (:meth:`SQLiteExecutor.execute` returning
+projected values, and :meth:`SQLiteExecutor.execute_sql` for raw SQL) is kept
+for the examples and the property-based tests.
 """
 
 from __future__ import annotations
@@ -11,17 +27,40 @@ import sqlite3
 from typing import Sequence
 
 from repro.relational.database import Database
+from repro.relational.predicates import Conjunction, NumericalPredicate
 from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
 from repro.relational.schema import AttributeKind
 from repro.relational.sqlgen import _quote_identifier, render_where
+
+
+def _predicate_parameters(where: Conjunction) -> list:
+    """Bound parameter values for a pushdown statement, in placeholder order."""
+    parameters: list = []
+    for predicate in where:
+        if isinstance(predicate, NumericalPredicate):
+            parameters.append(predicate.constant)
+        else:
+            parameters.extend(v for v in predicate.values if v is not None)
+    return parameters
 
 
 class SQLiteExecutor:
     """Materialises a :class:`Database` into sqlite and runs queries as SQL."""
 
     def __init__(self, database: Database, path: str = ":memory:") -> None:
-        self.connection = sqlite3.connect(path)
-        self._load(database)
+        self.connection = sqlite3.connect(path, cached_statements=256)
+        self._database = database
+        #: Loaded relation per table name.  Holding the object itself (not a
+        #: bare id) keeps it alive, so a replacement relation can never reuse
+        #: the freed object's id and masquerade as the loaded one.
+        self._loaded: dict[str, Relation] = {}
+        self._indexed: set[tuple[str, str]] = set()
+        self._sql_cache: dict[tuple, str] = {}
+        self._window_functions = sqlite3.sqlite_version_info >= (3, 25, 0)
+        for relation in database:
+            self._load_relation(relation)
+        self.connection.commit()
 
     def close(self) -> None:
         self.connection.close()
@@ -34,28 +73,203 @@ class SQLiteExecutor:
 
     # -- loading -------------------------------------------------------------------
 
-    def _load(self, database: Database) -> None:
+    def _load_relation(self, relation: Relation) -> None:
         cursor = self.connection.cursor()
-        for relation in database:
-            columns = []
-            for attribute in relation.schema:
-                sql_type = (
-                    "REAL" if attribute.kind is AttributeKind.NUMERICAL else "TEXT"
-                )
-                columns.append(f"{_quote_identifier(attribute.name)} {sql_type}")
-            cursor.execute(
-                f"CREATE TABLE {_quote_identifier(relation.name)} "
-                f"({', '.join(columns)})"
+        columns = []
+        for attribute in relation.schema:
+            sql_type = (
+                "REAL" if attribute.kind is AttributeKind.NUMERICAL else "TEXT"
             )
-            placeholders = ", ".join("?" for _ in relation.schema)
-            cursor.executemany(
-                f"INSERT INTO {_quote_identifier(relation.name)} "
-                f"VALUES ({placeholders})",
-                relation.rows,
-            )
-        self.connection.commit()
+            columns.append(f"{_quote_identifier(attribute.name)} {sql_type}")
+        cursor.execute(
+            f"CREATE TABLE {_quote_identifier(relation.name)} "
+            f"({', '.join(columns)})"
+        )
+        placeholders = ", ".join("?" for _ in relation.schema)
+        cursor.executemany(
+            f"INSERT INTO {_quote_identifier(relation.name)} "
+            f"VALUES ({placeholders})",
+            relation.rows,
+        )
+        self._loaded[relation.name] = relation
 
-    # -- execution ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-load any relation that was swapped in (or added to) the database.
+
+        Relations are tracked by object identity: :class:`Relation` objects
+        are immutable, so the same object means unchanged contents.
+        """
+        stale = False
+        for relation in self._database:
+            if self._loaded.get(relation.name) is not relation:
+                self.connection.execute(
+                    f"DROP TABLE IF EXISTS {_quote_identifier(relation.name)}"
+                )
+                self._indexed = {
+                    entry for entry in self._indexed if entry[0] != relation.name
+                }
+                self._load_relation(relation)
+                stale = True
+        if stale:
+            # Alias/source resolution can change with a new schema.
+            self._sql_cache.clear()
+            self.connection.commit()
+
+    # -- pushdown execution -----------------------------------------------------------
+
+    @property
+    def supports_distinct_pushdown(self) -> bool:
+        """Whether DISTINCT de-duplication runs inside sqlite (window functions)."""
+        return self._window_functions
+
+    def pushdown_positions(self, query: SPJQuery) -> list[tuple[int, ...]]:
+        """Rank-ordered result coordinates: one 0-based row position per table.
+
+        Selection, ordering and (window functions permitting) DISTINCT all run
+        inside sqlite; the caller gathers the actual values from the original
+        relations, so results are byte-identical to the in-memory engines.
+        Predicate constants are bound as statement parameters, so refinement
+        candidates of one query shape reuse a single compiled plan.
+        """
+        self._ensure_indexes(query)
+        sql = self._pushdown_sql(query)
+        cursor = self.connection.execute(sql, _predicate_parameters(query.where))
+        return cursor.fetchall()
+
+    def _ensure_indexes(self, query: SPJQuery) -> None:
+        """Index the query's join-key columns and its ranking attribute."""
+        schemas = [self._database.relation(name).schema for name in query.tables]
+        first_table: dict[str, int] = {}
+        wanted: set[tuple[str, str]] = set()
+        for position, schema in enumerate(schemas):
+            for attribute in schema.names:
+                if attribute in first_table:
+                    wanted.add((query.tables[first_table[attribute]], attribute))
+                    wanted.add((query.tables[position], attribute))
+                else:
+                    first_table[attribute] = position
+        order_attribute = query.order_by.attribute
+        if order_attribute in first_table:
+            wanted.add((query.tables[first_table[order_attribute]], order_attribute))
+        for table, column in sorted(wanted - self._indexed):
+            index_name = _quote_identifier(f"idx_{table}_{column}")
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {index_name} ON "
+                f"{_quote_identifier(table)} ({_quote_identifier(column)})"
+            )
+            self._indexed.add((table, column))
+
+    def _pushdown_sql(self, query: SPJQuery) -> str:
+        """The (cached) parameterized pushdown statement for a query shape."""
+        shape = (
+            query.tables,
+            tuple(
+                (predicate.attribute, predicate.operator.value)
+                if isinstance(predicate, NumericalPredicate)
+                else (
+                    predicate.attribute,
+                    sum(1 for v in predicate.values if v is not None),
+                    None in predicate.values,
+                )
+                for predicate in query.where
+            ),
+            query.order_by.attribute,
+            query.order_by.descending,
+            query.distinct,
+            query.select,
+        )
+        sql = self._sql_cache.get(shape)
+        if sql is None:
+            sql = self._sql_cache[shape] = self._build_pushdown_sql(query)
+        return sql
+
+    def _build_pushdown_sql(self, query: SPJQuery) -> str:
+        tables = query.tables
+        aliases = [f"t{i}" for i in range(len(tables))]
+        schemas = [self._database.relation(name).schema for name in tables]
+
+        # Natural-join semantics with explicit conditions: each shared
+        # attribute equates with the first table that carries it, and IS (not
+        # =) matches the in-memory hash join where NULL keys join with NULL.
+        source: dict[str, str] = {}
+        for name in schemas[0].names:
+            source[name] = aliases[0]
+        from_parts = [f"{_quote_identifier(tables[0])} AS {aliases[0]}"]
+        for position in range(1, len(tables)):
+            alias = aliases[position]
+            quoted = f"{_quote_identifier(tables[position])} AS {alias}"
+            shared = [name for name in schemas[position].names if name in source]
+            if shared:
+                conditions = " AND ".join(
+                    f"{source[name]}.{_quote_identifier(name)} IS "
+                    f"{alias}.{_quote_identifier(name)}"
+                    for name in shared
+                )
+                from_parts.append(f"JOIN {quoted} ON {conditions}")
+            else:
+                from_parts.append(f"CROSS JOIN {quoted}")
+            for name in schemas[position].names:
+                source.setdefault(name, alias)
+
+        where_parts = []
+        for predicate in query.where:
+            column = f"{source[predicate.attribute]}.{_quote_identifier(predicate.attribute)}"
+            if isinstance(predicate, NumericalPredicate):
+                where_parts.append(f"{column} {predicate.operator.value} ?")
+                continue
+            clauses = []
+            non_null_count = sum(1 for v in predicate.values if v is not None)
+            if non_null_count:
+                placeholders = ", ".join("?" for _ in range(non_null_count))
+                clauses.append(f"{column} IN ({placeholders})")
+            if None in predicate.values:
+                # Row semantics: None matches a categorical predicate that
+                # lists None, while SQL IN-lists never match NULL.
+                clauses.append(f"{column} IS NULL")
+            where_parts.append(
+                clauses[0] if len(clauses) == 1 else "(" + " OR ".join(clauses) + ")"
+            )
+        where_clause = " AND ".join(where_parts) if where_parts else "1 = 1"
+
+        # Total, deterministic order: the ranking attribute with NULLs last,
+        # then the base-table row positions — exactly the in-memory engine's
+        # stable sort over the left-deep join order.
+        rank = f"{source[query.order_by.attribute]}.{_quote_identifier(query.order_by.attribute)}"
+        direction = "DESC" if query.order_by.descending else "ASC"
+        rowids = ", ".join(f"{alias}.rowid" for alias in aliases)
+        from_clause = " ".join(from_parts)
+
+        if query.distinct and query.select and self._window_functions:
+            partition = ", ".join(
+                f"{source[name]}.{_quote_identifier(name)}" for name in query.select
+            )
+            inner_rids = ", ".join(
+                f"{aliases[i]}.rowid AS __r{i}" for i in range(len(aliases))
+            )
+            window_order = f"({rank} IS NULL), {rank} {direction}, {rowids}"
+            inner = (
+                f"SELECT {inner_rids}, ({rank} IS NULL) AS __rank_null, "
+                f"{rank} AS __rank, ROW_NUMBER() OVER "
+                f"(PARTITION BY {partition} ORDER BY {window_order}) AS __pick "
+                f"FROM {from_clause} WHERE {where_clause}"
+            )
+            outer_rids = ", ".join(f"__r{i} - 1" for i in range(len(aliases)))
+            outer_order = ", ".join(
+                ["__rank_null", f"__rank {direction}"]
+                + [f"__r{i}" for i in range(len(aliases))]
+            )
+            return (
+                f"SELECT {outer_rids} FROM ({inner}) "
+                f"WHERE __pick = 1 ORDER BY {outer_order}"
+            )
+
+        rid_select = ", ".join(f"{alias}.rowid - 1" for alias in aliases)
+        return (
+            f"SELECT {rid_select} FROM {from_clause} WHERE {where_clause} "
+            f"ORDER BY ({rank} IS NULL), {rank} {direction}, {rowids}"
+        )
+
+    # -- value-level execution (cross-checking and examples) --------------------------
 
     def execute(self, query: SPJQuery) -> list[tuple]:
         """Run ``query`` and return the projected rows in rank order.

@@ -55,13 +55,73 @@ class TestJoinCacheInvalidation:
         schema = Schema([categorical("id"), numerical("score")])
         database = Database([Relation("r", schema, [("a", 1), ("b", 2)])])
         query = SPJQuery(tables=["r"], where=(), order_by="score", name="q")
-        executor = QueryExecutor(database)
+        # Pinned to the memory backend: the assertions below are white-box
+        # about its join caches (the sqlite backend tracks swaps separately,
+        # see test_sqlite_backend_reloads_swapped_relations).
+        executor = QueryExecutor(database, backend="memory")
         assert len(executor.evaluate(query)) == 2
         database.add(Relation("r", schema, [("a", 1), ("b", 2), ("c", 3)]))
         assert len(executor.evaluate(query)) == 3
         # The stale entry is replaced, not kept alongside (bounded memory).
         assert len(executor._join_cache) == 1
         assert len(executor._ordered_cache) == 1
+
+
+class TestBackendSelection:
+    def _database(self):
+        schema = Schema([categorical("id"), numerical("score")])
+        return Database([Relation("r", schema, [("a", 1), ("b", 2)])])
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(QueryError):
+            QueryExecutor(self._database(), backend="duckdb")
+
+    def test_backend_defaults_to_memory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        assert QueryExecutor(self._database()).backend == "memory"
+
+    def test_backend_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "sqlite")
+        assert QueryExecutor(self._database()).backend == "sqlite"
+
+    def test_explicit_backend_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "sqlite")
+        assert QueryExecutor(self._database(), backend="memory").backend == "memory"
+
+    def test_sqlite_backend_reloads_swapped_relations(self):
+        schema = Schema([categorical("id"), numerical("score")])
+        database = Database([Relation("r", schema, [("a", 1), ("b", 2)])])
+        query = SPJQuery(tables=["r"], where=(), order_by="score", name="q")
+        executor = QueryExecutor(database, backend="sqlite")
+        assert len(executor.evaluate(query)) == 2
+        database.add(Relation("r", schema, [("a", 1), ("b", 2), ("c", 3)]))
+        assert len(executor.evaluate(query)) == 3
+
+    def test_sqlite_backend_survives_relation_id_reuse(self):
+        """Repeated swaps where the freed Relation's id is reused must reload.
+
+        The backend holds the loaded Relation objects (not bare ids), so a
+        replacement allocated at a recycled address can never look current.
+        """
+        schema = Schema([categorical("id"), numerical("score")])
+        database = Database([Relation("r", schema, [("a", 1), ("b", 2)])])
+        query = SPJQuery(tables=["r"], where=(), order_by="score", name="q")
+        executor = QueryExecutor(database, backend="sqlite")
+        for extra in range(1, 6):
+            rows = [("a", 1), ("b", 2)] + [(f"x{i}", 10 + i) for i in range(extra)]
+            # The previous relation becomes garbage immediately; CPython often
+            # hands its address to the next allocation.
+            database.add(Relation("r", schema, rows))
+            assert len(executor.evaluate(query)) == 2 + extra
+
+    def test_sqlite_backend_validates_unknown_attributes(self):
+        query = SPJQuery(
+            tables=["r"],
+            where=Conjunction([NumericalPredicate("nope", ">=", 1)]),
+            order_by="score",
+        )
+        with pytest.raises(QueryError):
+            QueryExecutor(self._database(), backend="sqlite").evaluate(query)
 
 
 class TestNullOrdering:

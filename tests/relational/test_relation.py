@@ -174,3 +174,72 @@ def test_property_natural_join_matches_nested_loop_semantics(left_rows, right_ro
         l + (r[1],) for l in left_rows for r in right_rows if l[0] == r[0]
     ]
     assert sorted(joined.rows) == sorted(expected)
+
+
+class TestColumnarOperatorParity:
+    """The derived-column / concat / callable operators must agree across
+    representations and keep store-backed inputs columnar."""
+
+    @pytest.fixture
+    def store_backed(self, people):
+        store = people.column_store()
+        if store is None:
+            pytest.skip("vectorized engine requires numpy")
+        return Relation.from_store("people", store)
+
+    def test_with_column_matches_rowwise(self, people, store_backed):
+        from repro.relational.columnar import rowwise_fallback
+
+        attribute = Attribute("senior", AttributeKind.CATEGORICAL)
+        compute = lambda row: "yes" if row["age"] >= 30 else "no"
+        fast = store_backed.with_column(attribute, compute)
+        with rowwise_fallback():
+            slow = people.with_column(attribute, compute)
+        assert fast.rows == slow.rows
+        assert fast.schema == slow.schema
+        assert fast.column_store() is not None
+
+    def test_concat_matches_rowwise(self, people, store_backed):
+        from repro.relational.columnar import rowwise_fallback
+
+        fast = store_backed.concat(store_backed)
+        with rowwise_fallback():
+            slow = people.concat(people)
+        assert fast.rows == slow.rows
+        assert fast.column_store() is not None
+
+    def test_callable_select_stays_columnar(self, store_backed):
+        selected = store_backed.select(lambda row: row["city"] == "paris")
+        assert [row[0] for row in selected] == ["ann", "cee"]
+        assert selected.column_store() is not None
+
+    def test_count_where_agrees_across_representations(self, people, store_backed):
+        from repro.relational.columnar import rowwise_fallback
+
+        condition = lambda row: row["age"] < 30
+        with rowwise_fallback():
+            expected = people.count_where(condition)
+        assert store_backed.count_where(condition) == expected == 2
+
+    def test_lazy_take_gathers_identical_rows(self, store_backed, people):
+        taken = store_backed.take([2, 0])
+        assert taken.rows == [people.rows[2], people.rows[0]]
+        head = taken.head(1)
+        assert head.rows == [people.rows[2]]
+        assert head.column("name") == ["cee"]
+
+    def test_lazy_take_resolves_negative_positions_within_the_window(
+        self, store_backed, people
+    ):
+        # -1 after head(3) must mean "last of the 3-row window", not of the base.
+        window = store_backed.head(3)
+        assert window.take([-1]).rows == [people.rows[2]]
+        assert window.take([-3, 2]).rows == [people.rows[0], people.rows[2]]
+
+    def test_lazy_take_accepts_boolean_masks(self, store_backed, people):
+        import numpy as np
+
+        mask = np.array([True, False, True, False])
+        taken = store_backed.take(mask)
+        assert len(taken) == 2
+        assert taken.rows == [people.rows[0], people.rows[2]]
