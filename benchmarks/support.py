@@ -16,8 +16,10 @@ trends.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 
 from repro.core import (
@@ -204,11 +206,17 @@ def run_naive(
     timeout: float | None = None,
     bundle: DatasetBundle | None = None,
     batched_sweeps: bool = True,
+    incremental_categorical: bool = True,
+    jobs: int | None = None,
+    max_candidates: int | None = None,
 ) -> RunRecord:
     """Run one exhaustive-search configuration and record its timings.
 
     ``batched_sweeps=False`` (Naive+prov only) restores the per-candidate
-    threshold evaluation the sweep-batching benchmark compares against.
+    threshold evaluation the sweep-batching benchmark compares against;
+    ``incremental_categorical=False`` restores the per-candidate OR-reduce
+    over categorical subsets.  ``jobs`` shards the candidate space across
+    worker processes (``jobs=1``/``None`` is the serial path).
     """
     bundle = bundle or dataset_bundle(dataset)
     if use_provenance:
@@ -220,8 +228,13 @@ def run_naive(
             distance=distance,
             timeout=timeout if timeout is not None else TIMEOUT_SECONDS,
             batched_sweeps=batched_sweeps,
+            incremental_categorical=incremental_categorical,
+            jobs=jobs,
+            max_candidates=max_candidates,
         )
         algorithm = "NAIVE+PROV" if batched_sweeps else "NAIVE+PROV/percand"
+        if not incremental_categorical:
+            algorithm += "/orreduce"
     else:
         search = NaiveSearch(
             bundle.database,
@@ -230,8 +243,12 @@ def run_naive(
             epsilon=epsilon,
             distance=distance,
             timeout=timeout if timeout is not None else TIMEOUT_SECONDS,
+            jobs=jobs,
+            max_candidates=max_candidates,
         )
         algorithm = "NAIVE"
+    if search.jobs > 1:
+        algorithm += f"/j{search.jobs}"
     result = search.search()
     return RunRecord(
         dataset=dataset,
@@ -248,18 +265,55 @@ def run_naive(
     )
 
 
-#: All record series are also appended here so that a benchmark run leaves a
-#: machine-readable trace even when pytest captures stdout.
+#: Every record series lands in both files so a benchmark run leaves a trace
+#: even when pytest captures stdout: ``latest.json`` is the machine-readable
+#: source of truth (one entry per series title, replaced in place on re-runs,
+#: so repeated runs never accumulate duplicate blocks), and ``latest.txt`` is
+#: regenerated from it for human eyes.
+RESULTS_JSON_PATH = os.path.join(os.path.dirname(__file__), "results", "latest.json")
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "latest.txt")
 
 
+def _load_results() -> dict:
+    try:
+        with open(RESULTS_JSON_PATH) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {"series": {}}
+
+
+def _render_text(results: dict) -> str:
+    lines = []
+    for title, series in results["series"].items():
+        lines.append(f"=== {title} (scale={series['scale']}) ===")
+        lines.extend(series["rows"])
+    return "\n".join(lines) + "\n"
+
+
 def print_records(title: str, records: list[RunRecord]) -> None:
-    """Print one figure's series and append it to ``benchmarks/results/latest.txt``."""
-    lines = [f"=== {title} (scale={bench_scale()}) ==="]
-    lines.extend(record.row() for record in records)
+    """Print one series and store it under ``benchmarks/results/``.
+
+    The series replaces any previous entry with the same title, so both
+    ``latest.json`` and ``latest.txt`` always hold exactly one (the latest)
+    block per benchmark.
+    """
+    rows = [record.row() for record in records]
     print()
-    for line in lines:
-        print(line)
-    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
-    with open(RESULTS_PATH, "a") as handle:
-        handle.write("\n".join(lines) + "\n")
+    print(f"=== {title} (scale={bench_scale()}) ===")
+    for row in rows:
+        print(row)
+    os.makedirs(os.path.dirname(RESULTS_JSON_PATH), exist_ok=True)
+    results = _load_results()
+    results["series"][title] = {
+        "scale": bench_scale(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "records": [asdict(record) for record in records],
+        "rows": rows,
+    }
+    with open(RESULTS_JSON_PATH, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    with open(RESULTS_PATH, "w") as handle:
+        handle.write(_render_text(results))

@@ -14,6 +14,7 @@ import pytest
 from benchmarks.support import (
     PERF_SMOKE_BUDGET_SECONDS,
     default_constraint_set,
+    print_records,
     run_naive,
 )
 
@@ -22,6 +23,7 @@ pytestmark = pytest.mark.perf_smoke
 
 def test_naive_prov_on_reduced_meps_finishes_under_budget():
     record = run_naive("meps", default_constraint_set("meps"), use_provenance=True)
+    print_records("perf smoke (meps, Naive+prov)", [record])
     assert record.feasible, "reduced meps Naive+prov must find a refinement"
     assert not record.timed_out
     assert record.solve_seconds < PERF_SMOKE_BUDGET_SECONDS, (

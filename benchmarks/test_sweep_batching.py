@@ -33,10 +33,14 @@ def test_batched_sweeps_are_at_least_twice_as_fast_on_reduced_meps():
     # Warm the dataset cache (and the interpreter) outside the timed runs.
     run_naive("meps", constraints, use_provenance=True)
 
+    # jobs=1 pins both timed runs to the serial loop so a REPRO_SOLVER_JOBS
+    # environment (the sharded CI matrix job) can't skew the ratio.
     per_candidate = run_naive(
-        "meps", constraints, use_provenance=True, batched_sweeps=False
+        "meps", constraints, use_provenance=True, batched_sweeps=False, jobs=1
     )
-    batched = run_naive("meps", constraints, use_provenance=True, batched_sweeps=True)
+    batched = run_naive(
+        "meps", constraints, use_provenance=True, batched_sweeps=True, jobs=1
+    )
     print_records("sweep batching (meps, Naive+prov)", [per_candidate, batched])
 
     assert batched.feasible and per_candidate.feasible

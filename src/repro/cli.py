@@ -16,6 +16,13 @@ Solve a refinement problem (the running example)::
         --at-least 3@6:Gender=F --at-most 1@3:Income=High \
         --epsilon 0 --distance pred --method milp+opt
 
+Run the provenance-accelerated exhaustive baseline across 4 worker
+processes against a persisted on-disk sqlite database::
+
+    python -m repro refine --dataset meps --rows 1200 \
+        --at-least 5@10:Sex=F --method naive+prov --jobs 4 \
+        --executor-db /tmp/meps.sqlite
+
 Constraint syntax: ``BOUND@K:Attr=Value[,Attr2=Value2]`` — e.g. ``3@6:Gender=F``
 means "at least/at most 3 tuples of the group Gender=F within the top-6".
 """
@@ -31,6 +38,8 @@ from repro.core import (
     CardinalityConstraint,
     ConstraintSet,
     Group,
+    NaiveProvenanceSearch,
+    NaiveSearch,
     RefinementSolver,
     at_least,
     at_most,
@@ -133,6 +142,8 @@ def _command_refine(args: argparse.Namespace) -> int:
     if not constraints:
         print("error: provide at least one --at-least or --at-most constraint", file=sys.stderr)
         return 2
+    if args.method in ("naive", "naive+prov"):
+        return _refine_naive(args, bundle, ConstraintSet(constraints))
     solver = RefinementSolver(
         bundle.database,
         bundle.query,
@@ -142,6 +153,8 @@ def _command_refine(args: argparse.Namespace) -> int:
         method=args.method,
         backend=args.backend,
         time_limit=args.time_limit,
+        executor_backend=args.executor_backend,
+        executor_db=args.executor_db,
     )
     result = solver.solve()
     print(result.summary())
@@ -155,6 +168,41 @@ def _command_refine(args: argparse.Namespace) -> int:
     for label, count in result.constraint_counts.items():
         print(f"  {label}: {count}")
     print("\nmodel statistics:", result.model_statistics)
+    return 0
+
+
+def _refine_naive(args: argparse.Namespace, bundle, constraints: ConstraintSet) -> int:
+    """Run one of the exhaustive baselines (optionally sharded across workers)."""
+    search_class = NaiveProvenanceSearch if args.method == "naive+prov" else NaiveSearch
+    search = search_class(
+        bundle.database,
+        bundle.query,
+        constraints,
+        epsilon=args.epsilon,
+        distance=args.distance,
+        timeout=args.time_limit,
+        max_candidates=args.max_candidates,
+        jobs=args.jobs,
+        executor_backend=args.executor_backend,
+        executor_db=args.executor_db,
+    )
+    result = search.search()
+    status = "timeout" if result.timed_out else ("ok" if result.feasible else "infeasible")
+    print(
+        f"[{result.method}/{result.distance_code}] {status} "
+        f"candidates={result.candidates_examined} of {result.space_size} "
+        f"setup={result.setup_seconds:.3f}s search={result.search_seconds:.3f}s "
+        f"jobs={search.jobs}"
+    )
+    if not result.feasible:
+        print("No refinement within the requested maximum deviation exists.")
+        return 1
+    print(
+        f"distance={result.distance_value:.4g} deviation={result.deviation:.4g}"
+    )
+    print("\nrefinement:", result.refinement.describe(bundle.query))
+    print("\nrefined query:")
+    print(render_sql(result.refined_query))
     return 0
 
 
@@ -191,13 +239,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="distance measure to minimise",
     )
     refine_parser.add_argument(
-        "--method", default="milp+opt", choices=["milp", "milp+opt"], help="algorithm variant"
+        "--method", default="milp+opt",
+        choices=["milp", "milp+opt", "naive", "naive+prov"],
+        help="algorithm variant (MILP solvers or the exhaustive baselines)",
     )
     refine_parser.add_argument(
         "--backend", default="auto", help="MILP backend (auto, scipy, branch_and_bound)"
     )
     refine_parser.add_argument(
         "--time-limit", type=float, default=None, help="solver time limit in seconds"
+    )
+    refine_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the naive/naive+prov candidate search "
+        "(default: REPRO_SOLVER_JOBS or 1; jobs=1 is the serial path)",
+    )
+    refine_parser.add_argument(
+        "--max-candidates", type=int, default=None,
+        help="cap on examined candidates for the naive/naive+prov search",
+    )
+    refine_parser.add_argument(
+        "--executor-backend", default=None, choices=["memory", "sqlite"],
+        help="query execution backend (default: REPRO_EXECUTOR_BACKEND or memory)",
+    )
+    refine_parser.add_argument(
+        "--executor-db", default=None, metavar="PATH",
+        help="persist the sqlite execution backend to PATH (selects the "
+        "sqlite backend unless --executor-backend/REPRO_EXECUTOR_BACKEND "
+        "chooses one explicitly; default: REPRO_EXECUTOR_DB)",
     )
     return parser
 
@@ -206,6 +275,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "executor_db", None) and getattr(args, "executor_backend", None) == "memory":
+        parser.error("--executor-db requires the sqlite backend; drop --executor-backend memory")
     handlers = {
         "datasets": _command_datasets,
         "inspect": _command_inspect,

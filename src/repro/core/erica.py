@@ -80,6 +80,8 @@ class EricaBaseline:
         constraints: ConstraintSet,
         output_size: int | None = None,
         backend: str = "auto",
+        executor_backend: str | None = None,
+        executor_db: str | None = None,
     ) -> None:
         self.database = database
         self.query = query
@@ -87,14 +89,18 @@ class EricaBaseline:
         self.output_size = output_size
         self.backend = backend
         self.distance = PredicateDistance()
-        self._executor = QueryExecutor(database)
+        self._executor = QueryExecutor(
+            database, backend=executor_backend, db_path=executor_db
+        )
 
     def solve(self, num_solutions: int = 1, time_limit: float | None = None) -> EricaResult:
         """Find up to ``num_solutions`` refinements, closest (by DIS_pred) first."""
         if num_solutions < 1:
             raise RefinementError("num_solutions must be at least 1")
         setup_started = time.perf_counter()
-        annotated = annotate(self.query, self.database)
+        # Sharing the executor reuses its cached join/sort of ~Q(D) and, on
+        # the sqlite backend, pushes the lineage-atom scan into SQL.
+        annotated = annotate(self.query, self.database, executor=self._executor)
         model, categorical_variables, constant_variables, indicator_variables = (
             self._build(annotated)
         )

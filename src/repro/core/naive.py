@@ -15,8 +15,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core import parallel
 from repro.core.constraints import ConstraintSet
 from repro.core.distances import DistanceMeasure, PredicateDistance, get_distance
+from repro.core.parallel import ShardOutcome, ShardTask
 from repro.core.refinement import Refinement, RefinementSpace
 from repro.provenance.lineage import AnnotatedDatabase, annotate_result
 from repro.relational import columnar
@@ -66,6 +68,9 @@ class _BaseExhaustiveSearch:
         distance: DistanceMeasure | str = "pred",
         timeout: float | None = None,
         max_candidates: int | None = None,
+        jobs: int | None = None,
+        executor_backend: str | None = None,
+        executor_db: str | None = None,
     ) -> None:
         self.database = database
         self.query = query
@@ -74,34 +79,67 @@ class _BaseExhaustiveSearch:
         self.distance = get_distance(distance)
         self.timeout = timeout
         self.max_candidates = max_candidates
-        self._executor = QueryExecutor(database)
+        self.jobs = parallel.resolve_jobs(jobs)
+        self._executor = QueryExecutor(
+            database, backend=executor_backend, db_path=executor_db
+        )
         self._space: RefinementSpace | None = None
+        self._original_result: RankedResult | None = None
 
     def search(self) -> NaiveResult:
         """Enumerate the refinement space and return the closest acceptable refinement."""
         setup_started = time.perf_counter()
-        original_result = self._executor.evaluate(self.query)
+        self._original_result = self._executor.evaluate(self.query)
         # annotate_result reuses this executor's cached join+sort of ~Q(D);
         # annotate() would rebuild both on a fresh executor.
         annotated = annotate_result(
-            self.query, self._executor.evaluate_unfiltered(self.query)
+            self.query,
+            self._executor.evaluate_unfiltered(self.query),
+            scan=self._executor.annotation_scan(self.query),
         )
         space = RefinementSpace(self.query, annotated)
         self._space = space
         self._prepare(annotated)
         setup_seconds = time.perf_counter() - setup_started
-        # Predicate distance depends only on the refinement's parameter maps,
-        # so the hot loop can skip rebuilding the refined query's dicts.
-        predicate_distance = (
-            self.distance if isinstance(self.distance, PredicateDistance) else None
-        )
 
-        best: tuple[float, Refinement, SPJQuery, RankedResult, float] | None = None
+        search_started = time.perf_counter()
+        summary = None
+        if self.jobs > 1:
+            summary = parallel.run_sharded_search(
+                self, self.jobs, self.timeout, self.max_candidates
+            )
+        if summary is None:
+            summary = self._search_serial()
+        search_seconds = time.perf_counter() - search_started
+
+        result = NaiveResult(
+            feasible=summary.best is not None,
+            method=self.method,
+            distance_code=self.distance.code,
+            candidates_examined=summary.examined,
+            exhausted=summary.exhausted,
+            timed_out=summary.timed_out,
+            setup_seconds=setup_seconds,
+            search_seconds=search_seconds,
+            total_seconds=setup_seconds + search_seconds,
+            space_size=space.size(),
+        )
+        if summary.best is not None:
+            distance_value, refinement, deviation = summary.best
+            result.refinement = refinement
+            result.refined_query = refinement.apply(self.query)
+            result.distance_value = distance_value
+            result.deviation = deviation
+        return result
+
+    def _search_serial(self) -> "parallel.SweepSummary":
+        """The serial hot loop (also the ``jobs=1`` reference semantics)."""
+        best: tuple[float, Refinement, float] | None = None
         examined = 0
         exhausted = True
         timed_out = False
         search_started = time.perf_counter()
-        for refinement in space.enumerate():
+        for refinement in self._space.enumerate():
             if self.timeout is not None and time.perf_counter() - search_started > self.timeout:
                 exhausted = False
                 timed_out = True
@@ -110,48 +148,81 @@ class _BaseExhaustiveSearch:
                 exhausted = False
                 break
             examined += 1
-            refined_query = refinement.apply(self.query)
-            refined_result = self._evaluate(refinement, refined_query)
-            if len(refined_result) < self.constraints.k_star:
-                continue
-            deviation = self._deviation(refined_result)
-            if deviation > self.epsilon + 1e-9:
-                continue
-            if predicate_distance is not None:
-                distance_value = predicate_distance.evaluate_refinement(
-                    self.query, refinement
-                )
-            else:
-                distance_value = self.distance.evaluate(
-                    self.query,
-                    refined_query,
-                    original_result,
-                    refined_result,
-                    self.constraints.k_star,
-                )
-            if best is None or distance_value < best[0] - 1e-12:
-                best = (distance_value, refinement, refined_query, refined_result, deviation)
-        search_seconds = time.perf_counter() - search_started
+            candidate = self._examine(refinement)
+            if candidate is not None and (
+                best is None or candidate[0] < best[0] - parallel.IMPROVEMENT_EPSILON
+            ):
+                best = candidate
+        return parallel.SweepSummary(
+            best=best, examined=examined, exhausted=exhausted, timed_out=timed_out
+        )
 
-        result = NaiveResult(
-            feasible=best is not None,
-            method=self.method,
-            distance_code=self.distance.code,
-            candidates_examined=examined,
+    def _examine(self, refinement: Refinement) -> tuple[float, Refinement, float] | None:
+        """Evaluate one candidate; ``(distance, refinement, deviation)`` if acceptable."""
+        refined_query = refinement.apply(self.query)
+        refined_result = self._evaluate(refinement, refined_query)
+        if len(refined_result) < self.constraints.k_star:
+            return None
+        deviation = self._deviation(refined_result)
+        if deviation > self.epsilon + 1e-9:
+            return None
+        # Predicate distance depends only on the refinement's parameter maps,
+        # so the hot loop can skip rebuilding the refined query's dicts.
+        if isinstance(self.distance, PredicateDistance):
+            distance_value = self.distance.evaluate_refinement(self.query, refinement)
+        else:
+            distance_value = self.distance.evaluate(
+                self.query,
+                refined_query,
+                self._original_result,
+                refined_result,
+                self.constraints.k_star,
+            )
+        return (distance_value, refinement, deviation)
+
+    # -- parallel worker protocol ------------------------------------------------------
+
+    def evaluate_shard(self, task: ShardTask) -> ShardOutcome:
+        """Run the hot loop over one contiguous shard of the candidate space.
+
+        Called inside a pool worker on the fork-inherited (or unpickled)
+        prepared search object; returns only the shard's best candidate and
+        bookkeeping, never result relations.
+        """
+        best: tuple[float, Refinement, float] | None = None
+        examined = 0
+        exhausted = True
+        timed_out = False
+        for refinement in self._space.enumerate(first_values=task.first_values):
+            if task.deadline is not None and time.time() > task.deadline:
+                exhausted = False
+                timed_out = True
+                break
+            if task.budget is not None and examined >= task.budget:
+                exhausted = False
+                break
+            examined += 1
+            candidate = self._examine(refinement)
+            if candidate is not None and (
+                best is None or candidate[0] < best[0] - parallel.IMPROVEMENT_EPSILON
+            ):
+                best = candidate
+        return ShardOutcome(
+            index=task.index,
+            examined=examined,
+            best=best,
             exhausted=exhausted,
             timed_out=timed_out,
-            setup_seconds=setup_seconds,
-            search_seconds=search_seconds,
-            total_seconds=setup_seconds + search_seconds,
-            space_size=space.size(),
         )
-        if best is not None:
-            distance_value, refinement, refined_query, refined_result, deviation = best
-            result.refinement = refinement
-            result.refined_query = refined_query
-            result.distance_value = distance_value
-            result.deviation = deviation
-        return result
+
+    def reset_after_fork(self) -> None:
+        """Drop state that must not cross a process boundary.
+
+        SQLite connections are not fork-safe: each pool worker reopens its
+        own (an on-disk ``REPRO_EXECUTOR_DB`` makes that reopen skip the data
+        load entirely).
+        """
+        self._executor.reset_connections()
 
     # -- hooks ------------------------------------------------------------------------
 
@@ -193,13 +264,28 @@ class _CandidateMaskIndex:
     mask is built at most once per sweep (within a memory budget; above it,
     only the most recent mask per predicate is kept, which still serves the
     outer predicates of the nested enumeration).
+
+    The categorical side of a sweep is *incremental* (``incremental=True``):
+    candidate subsets arrive in toggle order, so consecutive candidates
+    differ in a handful of values, and each per-value mask partitions the
+    rows — updating the previous candidate's cached mask with one in-place
+    XOR per toggled value replaces the full OR-reduce over the subset.  The
+    AND of all numerical part masks is likewise cached across the categorical
+    chain (the numerical constants only change when a chain ends).
     """
 
-    def __init__(self, length, numeric_index, value_masks, distinct_codes) -> None:
+    #: Sweep-wide cache budget in bytes, covering the cached boolean part
+    #: masks *and* the int64 positions/values arrays of the numeric index.
+    CACHE_BUDGET_BYTES = 64_000_000
+
+    def __init__(
+        self, length, numeric_index, value_masks, distinct_codes, incremental=True
+    ) -> None:
         self._length = length
         self._numeric = numeric_index
         self._value_masks = value_masks
         self._distinct_codes = distinct_codes
+        self._incremental = bool(incremental)
         #: (attribute, operator) -> {threshold: (start, stop) into the order array}
         self._windows: dict = {}
         #: (attribute, operator) -> {threshold: mask} of built part masks.  The
@@ -208,9 +294,17 @@ class _CandidateMaskIndex:
         #: otherwise only the most recent mask per predicate is retained.
         self._parts: dict = {}
         self._keep_all_parts = True
+        #: attribute -> [subset, mask] of the categorical chain cache; the
+        #: mask buffer is updated in place (never handed out past the current
+        #: candidate's AND-reduce).
+        self._chain: dict = {}
+        #: [numeric constants key, combined numeric mask] cache.
+        self._numeric_prefix: list | None = None
 
     @classmethod
-    def build(cls, query: SPJQuery, base: Relation) -> "_CandidateMaskIndex | None":
+    def build(
+        cls, query: SPJQuery, base: Relation, incremental: bool = True
+    ) -> "_CandidateMaskIndex | None":
         if not columnar.vectorization_enabled():
             return None
         store = base.column_store()
@@ -238,7 +332,9 @@ class _CandidateMaskIndex:
             distinct_codes = columnar.combined_codes(store, list(query.select))
             if distinct_codes is None:
                 return None
-        return cls(store.length, numeric_index, value_masks, distinct_codes)
+        return cls(
+            store.length, numeric_index, value_masks, distinct_codes, incremental
+        )
 
     def prepare_sweep(self, query: SPJQuery, space) -> None:
         """Batch-resolve every candidate threshold of a refinement sweep.
@@ -268,8 +364,19 @@ class _CandidateMaskIndex:
                     ),
                 )
             )
-        # One bool per row per cached mask; cap the sweep-wide cache at ~64 MB.
-        self._keep_all_parts = total_masks * self._length <= 64_000_000
+        # The budget meters everything the sweep keeps alive per row: one bool
+        # per row per cached part mask, the int64 positions arrays (and their
+        # float64 sorted-value companions) of the numeric index, and the one
+        # chain mask per categorical attribute.
+        positions_bytes = sum(
+            order.nbytes + sorted_values.nbytes
+            for order, sorted_values in self._numeric.values()
+        )
+        chain_bytes = len(self._value_masks) * self._length
+        mask_bytes = total_masks * self._length
+        self._keep_all_parts = (
+            positions_bytes + chain_bytes + mask_bytes <= self.CACHE_BUDGET_BYTES
+        )
 
     @staticmethod
     def _batched_windows(sorted_values, thresholds, operator):
@@ -291,10 +398,14 @@ class _CandidateMaskIndex:
         high = _np.searchsorted(sorted_values, thresholds, side="right")
         return [(int(lo), int(hi)) for lo, hi in zip(low, high)]
 
-    def _numeric_part(self, predicate, batched: bool):
-        """Boolean mask of one numerical predicate (cached per sweep threshold)."""
+    def _numeric_part(self, predicate, constant, batched: bool):
+        """Boolean mask of one numerical predicate (cached per sweep threshold).
+
+        ``constant`` is the refined threshold (it may differ from
+        ``predicate.constant`` when the caller resolves a refinement against
+        the original query's predicates).
+        """
         key = (predicate.attribute, predicate.operator)
-        constant = predicate.constant
         if batched:
             cached = self._parts.get(key)
             if cached is not None:
@@ -320,25 +431,78 @@ class _CandidateMaskIndex:
                 self._parts[key] = {constant: part}
         return part
 
-    def selected_positions(self, refined_query: SPJQuery, batched: bool = True):
-        """Rank-ordered positions of ``~Q(D)`` selected by the refined query."""
+    def _categorical_part(self, attribute: str, values, batched: bool):
+        """Boolean mask of one categorical predicate.
+
+        On the incremental path the previous candidate's mask is cached per
+        attribute and updated with one in-place XOR per toggled value —
+        valid because the per-value masks partition the rows, so toggling a
+        value flips exactly its rows.  ``False`` signals an unknown
+        attribute (caller falls back), ``None`` a candidate that selects
+        nothing.
+        """
+        masks = self._value_masks.get(attribute)
+        if masks is None:
+            return False
+        if isinstance(values, frozenset) and values <= masks.keys():
+            subset = values
+        else:
+            subset = frozenset(value for value in values if value in masks)
+        if not subset:
+            return None
+        if batched and self._incremental:
+            cached = self._chain.get(attribute)
+            if cached is not None:
+                last, buffer = cached
+                toggled = subset ^ last
+                if len(toggled) < len(subset):
+                    for value in toggled:
+                        _np.logical_xor(buffer, masks[value], out=buffer)
+                    cached[0] = subset
+                    return buffer
+        selected = [masks[value] for value in subset]
+        if len(selected) == 1:
+            part = selected[0]
+        else:
+            part = _np.logical_or.reduce(selected)
+        if batched and self._incremental:
+            # Seed the chain cache with a private buffer (per-value masks are
+            # shared and must never be XORed in place).
+            buffer = part.copy() if len(selected) == 1 else part
+            self._chain[attribute] = [subset, buffer]
+            return buffer
+        return part
+
+    def _numeric_conjunction(self, constants: tuple, predicates, batched: bool):
+        """AND of all numerical part masks (``False`` -> caller fallback).
+
+        On the incremental path the combined mask is cached under the tuple
+        of constants: the numerical constants only change when a categorical
+        chain rolls over, so the whole chain reuses one cached AND.
+        ``predicates`` supplies the ``(attribute, operator)`` of each
+        constant, in query order.
+        """
+        if not predicates:
+            return None
+        key = None
+        if batched and self._incremental:
+            key = constants
+            cached = self._numeric_prefix
+            if cached is not None and cached[0] == key:
+                return cached[1]
         parts = []
-        for predicate in refined_query.numerical_predicates:
-            part = self._numeric_part(predicate, batched)
+        for predicate, constant in zip(predicates, constants):
+            part = self._numeric_part(predicate, constant, batched)
             if part is None:
-                return None
+                return False
             parts.append(part)
-        for predicate in refined_query.categorical_predicates:
-            masks = self._value_masks.get(predicate.attribute)
-            if masks is None:
-                return None
-            selected = [masks[value] for value in predicate.values if value in masks]
-            if not selected:
-                return _np.empty(0, dtype=_np.int64)
-            if len(selected) == 1:
-                parts.append(selected[0])
-            else:
-                parts.append(_np.logical_or.reduce(selected))
+        combined = parts[0] if len(parts) == 1 else _np.logical_and.reduce(parts)
+        if key is not None:
+            self._numeric_prefix = [key, combined]
+        return combined
+
+    def _positions_from_parts(self, numeric, categorical_parts):
+        parts = ([] if numeric is None else [numeric]) + categorical_parts
         if not parts:
             positions = _np.arange(self._length)
         elif len(parts) == 1:
@@ -351,6 +515,55 @@ class _CandidateMaskIndex:
             positions = positions[_np.sort(first)]
         return positions
 
+    def selected_positions(self, refined_query: SPJQuery, batched: bool = True):
+        """Rank-ordered positions of ``~Q(D)`` selected by the refined query."""
+        predicates = refined_query.numerical_predicates
+        numeric = self._numeric_conjunction(
+            tuple(predicate.constant for predicate in predicates),
+            predicates,
+            batched,
+        )
+        if numeric is False:
+            return None
+        categorical_parts = []
+        for predicate in refined_query.categorical_predicates:
+            part = self._categorical_part(predicate.attribute, predicate.values, batched)
+            if part is False:
+                return None
+            if part is None:
+                return _np.empty(0, dtype=_np.int64)
+            categorical_parts.append(part)
+        return self._positions_from_parts(numeric, categorical_parts)
+
+    def positions_for(self, query: SPJQuery, refinement: Refinement):
+        """Rank-ordered selected positions straight from a refinement's maps.
+
+        The hot-loop entry point: reads the refined constants and value sets
+        off the :class:`Refinement` against the *original* query's predicates,
+        so candidate evaluation never has to build a refined
+        :class:`SPJQuery` at all.
+        """
+        predicates = query.numerical_predicates
+        numerical = refinement.numerical
+        constants = tuple(
+            numerical.get((predicate.attribute, predicate.operator), predicate.constant)
+            for predicate in predicates
+        )
+        numeric = self._numeric_conjunction(constants, predicates, True)
+        if numeric is False:
+            return None
+        categorical = refinement.categorical
+        categorical_parts = []
+        for predicate in query.categorical_predicates:
+            values = categorical.get(predicate.attribute, predicate.values)
+            part = self._categorical_part(predicate.attribute, values, True)
+            if part is False:
+                return None
+            if part is None:
+                return _np.empty(0, dtype=_np.int64)
+            categorical_parts.append(part)
+        return self._positions_from_parts(numeric, categorical_parts)
+
 
 class NaiveProvenanceSearch(_BaseExhaustiveSearch):
     """The paper's ``Naive+prov``: candidates are evaluated on the annotations.
@@ -359,14 +572,25 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
     threshold up front with one batched ``searchsorted`` per predicate and
     reuses per-predicate masks across the sweep; turning it off restores the
     per-candidate evaluation of the plain columnar engine, which the
-    sweep-batching benchmark uses as its baseline.
+    sweep-batching benchmark uses as its baseline.  ``incremental_categorical``
+    (default on) additionally evaluates categorical subset chains by XOR-ing
+    only the toggled values over the previous candidate's cached mask;
+    turning it off restores the per-candidate OR-reduce, which the
+    incremental-categorical benchmark uses as its baseline.
     """
 
     method = "naive+prov"
 
-    def __init__(self, *args, batched_sweeps: bool = True, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        batched_sweeps: bool = True,
+        incremental_categorical: bool = True,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self._batched = bool(batched_sweeps)
+        self._incremental = bool(incremental_categorical)
         self._annotated: AnnotatedDatabase | None = None
         self._schema = None
         self._base: Relation | None = None
@@ -382,7 +606,9 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         unfiltered = self._executor.evaluate_unfiltered(self.query)
         self._base = unfiltered.relation
         self._schema = unfiltered.relation.schema
-        self._fast = _CandidateMaskIndex.build(self.query, self._base)
+        self._fast = _CandidateMaskIndex.build(
+            self.query, self._base, incremental=self._incremental
+        )
         if self._fast is not None and self._batched and self._space is not None:
             self._fast.prepare_sweep(self.query, self._space)
         store = self._base.column_store()
@@ -433,12 +659,43 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         positions = self._positions
         if positions is None or self._group_masks is None:
             return self.constraints.deviation(refined_result)
+        return self._deviation_from_positions(positions)
+
+    def _deviation_from_positions(self, positions) -> float:
         total = 0.0
         for constraint in self.constraints:
             topk = positions[: constraint.k]
             count = int(self._group_masks[constraint.group][topk].sum())
             total += constraint.shortfall(count) / constraint.denominator()
         return total / len(self.constraints)
+
+    def _examine(self, refinement: Refinement) -> tuple[float, Refinement, float] | None:
+        """Candidate evaluation without materialising the refined query.
+
+        When every ingredient has a vectorized form — the mask index, the
+        per-group membership masks and the predicate distance — a candidate
+        reduces to a position set plus a few mask counts, so neither the
+        refined :class:`SPJQuery` nor a result relation is ever built.  Any
+        missing ingredient falls back to the generic path (which the parity
+        suite holds byte-identical to this one).
+        """
+        if (
+            self._fast is None
+            or not self._batched
+            or self._group_masks is None
+            or not isinstance(self.distance, PredicateDistance)
+        ):
+            return super()._examine(refinement)
+        positions = self._fast.positions_for(self.query, refinement)
+        if positions is None:
+            return super()._examine(refinement)
+        if positions.size < self.constraints.k_star:
+            return None
+        deviation = self._deviation_from_positions(positions)
+        if deviation > self.epsilon + 1e-9:
+            return None
+        distance_value = self.distance.evaluate_refinement(self.query, refinement)
+        return (distance_value, refinement, deviation)
 
     def _evaluate(self, refinement: Refinement, refined_query: SPJQuery) -> RankedResult:
         """Evaluate a refinement directly on ``~Q(D)`` without touching the database.

@@ -119,8 +119,16 @@ def classify_bound_types(
     classification: dict[int, set[BoundType]] = {
         annotated_tuple.position: set() for annotated_tuple in annotated.tuples
     }
+    # Constraints often share groups (e.g. a lower and an upper bound over the
+    # same group); match each distinct group against the tuples once and fan
+    # its bound types out, instead of re-matching per constraint.
+    bound_types_by_group: dict = {}
     for constraint in constraints:
+        bound_types_by_group.setdefault(constraint.group, set()).add(
+            constraint.bound_type
+        )
+    for group, bound_types in bound_types_by_group.items():
         for annotated_tuple in annotated.tuples:
-            if constraint.group.matches(annotated_tuple.values):
-                classification[annotated_tuple.position].add(constraint.bound_type)
+            if group.matches(annotated_tuple.values):
+                classification[annotated_tuple.position].update(bound_types)
     return classification

@@ -1,0 +1,266 @@
+"""The parallel sharded sweep engine behind the exhaustive baselines.
+
+``Naive``/``Naive+prov`` enumerate the refinement-candidate space as nested
+per-predicate sweeps.  This module shards that space along its *outermost*
+dimension — contiguous runs of the first numerical predicate's candidate
+constants, or of the first categorical attribute's subset chain — and fans the
+shards out over a ``multiprocessing`` pool.  Each worker receives the fully
+prepared search object (fork-inherited on Linux, pickled on spawn-only
+platforms), evaluates its shard with the exact serial hot loop, and sends back
+only a tiny ``ShardOutcome`` (best candidate + bookkeeping); the parent merges
+outcomes in shard order with the serial comparison rule, so the merged result
+is the one the serial loop would have produced.
+
+Determinism contract
+--------------------
+* Shards are contiguous blocks of the serial enumeration order, and shard
+  sizes are computed exactly (``RefinementSpace.tail_size``), so a global
+  ``max_candidates`` budget truncates the very same candidate prefix the
+  serial loop examines.
+* The per-shard reduction and the cross-shard merge both use the serial
+  strict-improvement rule (``distance < best - 1e-12``); because every shard
+  is a contiguous block processed in order, the merged winner is the serial
+  winner.
+* Timeouts are wall-clock and therefore inherently nondeterministic — exactly
+  as in the serial loop.  Workers honour the shared deadline so the pool
+  drains promptly.
+
+The pool size comes from the ``jobs=`` argument or the ``REPRO_SOLVER_JOBS``
+environment variable; ``jobs=1`` bypasses this module entirely and runs the
+byte-identical serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ReproError
+
+#: Strict-improvement tolerance shared with the serial search loop.
+IMPROVEMENT_EPSILON = 1e-12
+
+#: Upper bound on outer-dimension values per shard; keeps individual tasks
+#: responsive (deadline checks, budget truncation) even when the outer
+#: dimension is astronomically large (categorical-first spaces).
+_MAX_CHUNK = 64
+
+#: In-flight tasks per worker; bounds parent-side submission so lazily
+#: generated shard streams (2^d - 1 subsets) are never materialised.
+_WINDOW_PER_JOB = 2
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Validated worker count: explicit ``jobs=``, else ``REPRO_SOLVER_JOBS``, else 1."""
+    source = "jobs"
+    if jobs is None:
+        raw = os.environ.get("REPRO_SOLVER_JOBS")
+        if raw is None:
+            return 1
+        source = "REPRO_SOLVER_JOBS"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"invalid {source}={raw!r}: expected a positive integer"
+            ) from None
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ReproError(
+            f"invalid {source}={jobs}: the solver needs at least one worker "
+            "(use jobs=1 for the serial path)"
+        )
+    return jobs
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One contiguous block of the candidate enumeration order.
+
+    ``first_values`` fixes the outermost dimension; ``budget`` is the number
+    of candidates this shard may examine before the global ``max_candidates``
+    cap is reached (``None`` = unbounded); ``deadline`` is an absolute
+    ``time.time()`` timestamp shared by every shard of one search.
+    """
+
+    index: int
+    first_values: tuple
+    budget: int | None
+    deadline: float | None
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What a worker reports back: the shard's best candidate plus bookkeeping."""
+
+    index: int
+    examined: int
+    #: ``(distance_value, refinement, deviation)`` or ``None``.
+    best: tuple | None
+    exhausted: bool
+    timed_out: bool
+
+
+#: The prepared search object, inherited by fork at pool creation (or
+#: installed by :func:`_initialize_worker` from a pickle on spawn platforms).
+_WORKER_SEARCH = None
+
+
+def _initialize_worker(payload: bytes | None) -> None:
+    global _WORKER_SEARCH
+    if payload is not None:
+        _WORKER_SEARCH = pickle.loads(payload)
+    if _WORKER_SEARCH is not None:
+        _WORKER_SEARCH.reset_after_fork()
+
+
+def _run_shard(task: ShardTask) -> ShardOutcome:
+    return _WORKER_SEARCH.evaluate_shard(task)
+
+
+def _shard_tasks(
+    space,
+    chunk: int,
+    tail: int,
+    max_candidates: int | None,
+    deadline: float | None,
+    state: dict,
+) -> Iterator[ShardTask]:
+    """Lazily cut the outer dimension into budgeted shard tasks.
+
+    Sets ``state["truncated"]`` when the global ``max_candidates`` budget ran
+    out while further candidates remained — the exact condition under which
+    the serial loop reports ``exhausted=False``.
+    """
+    buffer: list = []
+    offset = 0
+    index = 0
+    for value in space.first_dimension_values():
+        buffer.append(value)
+        if len(buffer) < chunk:
+            continue
+        budget = None if max_candidates is None else max_candidates - offset
+        if budget is not None and budget <= 0:
+            state["truncated"] = True
+            return
+        yield ShardTask(index, tuple(buffer), budget, deadline)
+        offset += len(buffer) * tail
+        index += 1
+        buffer = []
+    if buffer:
+        budget = None if max_candidates is None else max_candidates - offset
+        if budget is not None and budget <= 0:
+            state["truncated"] = True
+            return
+        yield ShardTask(index, tuple(buffer), budget, deadline)
+
+
+@dataclass
+class SweepSummary:
+    """The merged outcome of a sharded search (mirrors the serial loop's state)."""
+
+    best: tuple | None
+    examined: int
+    exhausted: bool
+    timed_out: bool
+
+
+def run_sharded_search(
+    search,
+    jobs: int,
+    timeout: float | None,
+    max_candidates: int | None,
+) -> SweepSummary | None:
+    """Fan the candidate space of a prepared search out over ``jobs`` workers.
+
+    Returns ``None`` when the space cannot be sharded (no enumeration
+    dimension — the identity-only space) so the caller falls back to the
+    serial loop.  ``search`` must already be prepared (``_prepare`` run, its
+    refinement space attached): workers reuse that state verbatim.
+    """
+    space = search._space
+    if space is None or space.num_dimensions() == 0:
+        return None
+    if max_candidates is not None and max_candidates <= 0:
+        return None
+    first_size = space.first_dimension_size()
+    if first_size <= 1:
+        return None
+    tail = space.tail_size()
+    # Aim for several tasks per worker so stragglers rebalance, but never let
+    # one task grow past _MAX_CHUNK outer values (deadline responsiveness).
+    chunk = max(1, min(-(-first_size // (jobs * 4)), _MAX_CHUNK))
+    deadline = None if timeout is None else time.time() + timeout
+
+    start_methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in start_methods else "spawn"
+    context = multiprocessing.get_context(method)
+    if method == "fork":
+        payload = None
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        payload = pickle.dumps(search)
+
+    global _WORKER_SEARCH
+    state: dict = {"truncated": False}
+    tasks = _shard_tasks(space, chunk, tail, max_candidates, deadline, state)
+    best: tuple | None = None
+    examined = 0
+    exhausted = True
+    timed_out = False
+    _WORKER_SEARCH = search
+    try:
+        with context.Pool(
+            processes=jobs, initializer=_initialize_worker, initargs=(payload,)
+        ) as pool:
+            window = jobs * _WINDOW_PER_JOB
+            pending: deque = deque()
+            stream_dry = False
+            stopped_on_deadline = False
+            while True:
+                while not stream_dry and not stopped_on_deadline and len(pending) < window:
+                    if deadline is not None and time.time() > deadline:
+                        stopped_on_deadline = True
+                        break
+                    task = next(tasks, None)
+                    if task is None:
+                        stream_dry = True
+                        break
+                    pending.append(pool.apply_async(_run_shard, (task,)))
+                if not pending:
+                    break
+                outcome: ShardOutcome = pending.popleft().get()
+                examined += outcome.examined
+                timed_out = timed_out or outcome.timed_out
+                if not outcome.exhausted:
+                    exhausted = False
+                if outcome.best is not None and (
+                    best is None or outcome.best[0] < best[0] - IMPROVEMENT_EPSILON
+                ):
+                    best = outcome.best
+            if state["truncated"]:
+                # The candidate budget ran out with further candidates left.
+                exhausted = False
+            if stopped_on_deadline and next(tasks, None) is not None:
+                exhausted = False
+        if deadline is not None and time.time() > deadline and not exhausted:
+            timed_out = True
+    finally:
+        _WORKER_SEARCH = None
+    return SweepSummary(
+        best=best, examined=examined, exhausted=exhausted, timed_out=timed_out
+    )
+
+
+__all__ = [
+    "IMPROVEMENT_EPSILON",
+    "ShardOutcome",
+    "ShardTask",
+    "SweepSummary",
+    "resolve_jobs",
+    "run_sharded_search",
+]

@@ -177,12 +177,63 @@ class RefinementSpace:
     def categorical_domain(self, attribute: str) -> list[object]:
         return list(self._categorical_domains[attribute])
 
+    # -- sharding support (parallel sweep engine) ------------------------------------
+
+    def num_dimensions(self) -> int:
+        """Number of enumeration dimensions (numerical keys + categorical attributes)."""
+        return len(self._numerical_candidates) + len(self._categorical_domains)
+
+    def first_dimension_size(self) -> int:
+        """Candidate count of the outermost enumeration dimension.
+
+        May be astronomically large for a categorical-first space (``2^d - 1``
+        subsets); callers must treat it as a number, never materialise it.
+        """
+        for candidates in self._numerical_candidates.values():
+            return len(candidates)
+        for domain in self._categorical_domains.values():
+            return 2 ** len(domain) - 1
+        return 0
+
+    def first_dimension_values(self) -> Iterator:
+        """The outermost dimension's candidate values, in enumeration order.
+
+        Numerical constants for a numerical-first space, lazily generated
+        value subsets (nearest-to-original first) for a categorical-first one.
+        """
+        for key in self._numerical_candidates:
+            return iter(self._numerical_candidates[key])
+        for attribute in self._categorical_domains:
+            return self._ordered_subsets(attribute)
+        return iter(())
+
+    def tail_size(self) -> int:
+        """Number of candidates per outermost-dimension value (inner cross product).
+
+        Together with :meth:`first_dimension_values` this gives exact global
+        candidate offsets for contiguous shards of the enumeration order, so a
+        parallel search can reproduce ``max_candidates`` truncation exactly.
+        """
+        first = True
+        total = 1
+        for candidates in self._numerical_candidates.values():
+            if first:
+                first = False
+                continue
+            total *= len(candidates)
+        for domain in self._categorical_domains.values():
+            if first:
+                first = False
+                continue
+            total *= 2 ** len(domain) - 1
+        return total
+
     # -- enumeration -----------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Refinement]:
         return self.enumerate()
 
-    def enumerate(self) -> Iterator[Refinement]:
+    def enumerate(self, first_values: Iterable | None = None) -> Iterator[Refinement]:
         """Lazily enumerate every candidate refinement.
 
         Categorical subsets are enumerated in order of increasing symmetric
@@ -191,6 +242,12 @@ class RefinementSpace:
         would).  Nothing is materialised up front: for a categorical domain of
         114 values (Astronauts) the space has ~2^114 members and the baselines
         rely on their timeout to stop early.
+
+        ``first_values`` restricts the *outermost* dimension to the given
+        candidate values (in the given order) instead of its full list — the
+        sharding hook of the parallel sweep engine.  A shard built from
+        consecutive outer values is a contiguous block of the full enumeration
+        order.
         """
         numerical_keys = list(self._numerical_candidates)
         categorical_attributes = list(self._categorical_domains)
@@ -198,7 +255,11 @@ class RefinementSpace:
         def expand(position: int, chosen_numerical: tuple, chosen_categorical: tuple):
             if position < len(numerical_keys):
                 key = numerical_keys[position]
-                for constant in self._numerical_candidates[key]:
+                if position == 0 and first_values is not None:
+                    candidates = first_values
+                else:
+                    candidates = self._numerical_candidates[key]
+                for constant in candidates:
                     yield from expand(
                         position + 1, chosen_numerical + (constant,), chosen_categorical
                     )
@@ -206,7 +267,11 @@ class RefinementSpace:
             categorical_position = position - len(numerical_keys)
             if categorical_position < len(categorical_attributes):
                 attribute = categorical_attributes[categorical_position]
-                for values in self._ordered_subsets(attribute):
+                if position == 0 and first_values is not None:
+                    subsets = iter(first_values)
+                else:
+                    subsets = self._ordered_subsets(attribute)
+                for values in subsets:
                     yield from expand(
                         position + 1, chosen_numerical, chosen_categorical + (values,)
                     )

@@ -88,6 +88,11 @@ class RefinementSolver:
         MILP backend name passed to :func:`repro.milp.get_solver`.
     time_limit:
         Optional wall-clock limit (seconds) for the MILP backend.
+    executor_backend, executor_db:
+        Query execution backend (``"memory"``/``"sqlite"``) and optional
+        on-disk sqlite path, forwarded to :class:`QueryExecutor`; both
+        default to the ``REPRO_EXECUTOR_BACKEND`` / ``REPRO_EXECUTOR_DB``
+        environment variables.
     """
 
     def __init__(
@@ -100,6 +105,8 @@ class RefinementSolver:
         method: str = "milp+opt",
         backend: str = "auto",
         time_limit: float | None = None,
+        executor_backend: str | None = None,
+        executor_db: str | None = None,
     ) -> None:
         method = method.lower()
         if method not in ("milp", "milp+opt"):
@@ -115,7 +122,9 @@ class RefinementSolver:
         self.options = (
             BuilderOptions.all() if method == "milp+opt" else BuilderOptions.none()
         )
-        self._executor = QueryExecutor(database)
+        self._executor = QueryExecutor(
+            database, backend=executor_backend, db_path=executor_db
+        )
 
     # -- pipeline -------------------------------------------------------------------
 
@@ -143,7 +152,9 @@ class RefinementSolver:
 
     def _setup(self) -> tuple[RankedResult, BuildArtifacts]:
         original_result = self._executor.evaluate(self.query)
-        annotated = annotate(self.query, self.database)
+        # Sharing the executor reuses its cached join/sort of ~Q(D) and, on
+        # the sqlite backend, pushes the lineage-atom scan into SQL.
+        annotated = annotate(self.query, self.database, executor=self._executor)
         annotated = self._maybe_prune(annotated, original_result)
         builder = MILPBuilder(
             query=self.query,
@@ -226,6 +237,8 @@ def solve_refinement(
     method: str = "milp+opt",
     backend: str = "auto",
     time_limit: float | None = None,
+    executor_backend: str | None = None,
+    executor_db: str | None = None,
 ) -> RefinementResult:
     """One-call convenience wrapper around :class:`RefinementSolver`."""
     solver = RefinementSolver(
@@ -237,6 +250,8 @@ def solve_refinement(
         method=method,
         backend=backend,
         time_limit=time_limit,
+        executor_backend=executor_backend,
+        executor_db=executor_db,
     )
     return solver.solve()
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -84,6 +86,72 @@ class NumericalAtom:
 
 
 LineageAtom = CategoricalAtom | NumericalAtom
+
+
+class _AtomInterner:
+    """Process-wide intern tables for lineage atoms.
+
+    Repeated annotations of the same workload — benchmark sweeps, the MILP
+    and the baselines sharing a query, re-annotation inside pool workers —
+    share one atom object per distinct ``(attribute, value)`` instead of
+    re-allocating per annotation.  A lock makes the tables thread-safe, and
+    the ``os.register_at_fork`` hooks keep the interner safe to reuse after
+    ``fork`` (the parallel sweep engine forks workers): the lock is held
+    across the fork so a child can never inherit it mid-update, and the child
+    re-creates its own released lock.  The tables hold only immutable atoms,
+    so the inherited contents stay valid.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._categorical: dict[tuple, CategoricalAtom] = {}
+        self._numerical: dict[tuple, NumericalAtom] = {}
+        if hasattr(os, "register_at_fork"):  # pragma: no branch
+            os.register_at_fork(
+                before=self._before_fork,
+                after_in_parent=self._after_fork_parent,
+                after_in_child=self._after_fork_child,
+            )
+
+    def _before_fork(self) -> None:
+        self._lock.acquire()
+
+    def _after_fork_parent(self) -> None:
+        self._lock.release()
+
+    def _after_fork_child(self) -> None:
+        self._lock = threading.Lock()
+
+    def categorical(self, attribute: str, value: object) -> CategoricalAtom:
+        key = (attribute, value)
+        atom = self._categorical.get(key)
+        if atom is None:
+            with self._lock:
+                atom = self._categorical.setdefault(
+                    key, CategoricalAtom(attribute, value)
+                )
+        return atom
+
+    def numerical(
+        self, attribute: str, operator: Operator, value: float
+    ) -> NumericalAtom:
+        key = (attribute, operator, value)
+        atom = self._numerical.get(key)
+        if atom is None:
+            with self._lock:
+                atom = self._numerical.setdefault(
+                    key, NumericalAtom(attribute, operator, value)
+                )
+        return atom
+
+    def clear(self) -> None:
+        with self._lock:
+            self._categorical.clear()
+            self._numerical.clear()
+
+
+#: The shared interner used by every annotation pass in this process.
+ATOM_INTERNER = _AtomInterner()
 
 
 @dataclass(frozen=True)
@@ -215,21 +283,76 @@ class AnnotatedDatabase:
         return [t for t in self.tuples if t.position in keep]
 
 
-def annotate(query: SPJQuery, database: Database) -> AnnotatedDatabase:
-    """Annotate the unfiltered output ``~Q(D)`` of ``query`` over ``database``."""
-    executor = QueryExecutor(database)
+def annotate(
+    query: SPJQuery, database: Database, executor: QueryExecutor | None = None
+) -> AnnotatedDatabase:
+    """Annotate the unfiltered output ``~Q(D)`` of ``query`` over ``database``.
+
+    Passing the caller's ``executor`` reuses its cached join/sort of ``~Q(D)``
+    and, on the sqlite backend, pushes the distinct lineage-atom scan into SQL
+    (one ``GROUP BY`` over the predicate attribute columns).
+    """
+    if executor is None:
+        executor = QueryExecutor(database)
     unfiltered: RankedResult = executor.evaluate_unfiltered(query)
-    return annotate_result(query, unfiltered)
+    return annotate_result(query, unfiltered, scan=executor.annotation_scan(query))
 
 
-def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatabase:
+def _lineage_table(
+    query: SPJQuery, scan: Iterable[tuple]
+) -> dict[tuple, frozenset[LineageAtom]]:
+    """Interned lineage set per distinct predicate-value combination.
+
+    ``scan`` rows carry the categorical predicate values first, then the
+    numerical ones (the :meth:`annotation_scan` column order).  Combinations
+    with ``None`` in a numerical column belong to dead tuples and get no
+    entry.  Keys normalise numerical values to ``float`` so that rows gathered
+    from the original relations (which may hold ``int``) hit the same entry
+    as the ``REAL`` values sqlite returns.
+    """
+    categorical = list(query.categorical_predicates)
+    numerical = list(query.numerical_predicates)
+    table: dict[tuple, frozenset[LineageAtom]] = {}
+    for combo in scan:
+        atoms: list[LineageAtom] = []
+        key: list = []
+        dead = False
+        for offset, predicate in enumerate(categorical):
+            value = combo[offset]
+            atoms.append(ATOM_INTERNER.categorical(predicate.attribute, value))
+            key.append(value)
+        for offset, predicate in enumerate(numerical, start=len(categorical)):
+            raw = combo[offset]
+            if raw is None:
+                dead = True
+                break
+            value = float(raw)
+            atoms.append(
+                ATOM_INTERNER.numerical(predicate.attribute, predicate.operator, value)
+            )
+            key.append(value)
+        if dead:
+            continue
+        table[tuple(key)] = frozenset(atoms)
+    return table
+
+
+def annotate_result(
+    query: SPJQuery, unfiltered: RankedResult, scan: Iterable[tuple] | None = None
+) -> AnnotatedDatabase:
     """Annotate an already evaluated ``~Q(D)`` result (used by the benchmarks).
 
     Annotation atoms are built column-wise: each predicate contributes one
-    atom per *distinct* attribute value, cached and shared across all tuples
-    carrying that value, and lineage sets are likewise interned per distinct
-    atom combination — tuples in the same lineage equivalence class share one
-    ``frozenset`` object, which also speeds up the class grouping downstream.
+    atom per *distinct* attribute value, interned process-wide
+    (:data:`ATOM_INTERNER`) and shared across all tuples carrying that value,
+    and lineage sets are likewise interned per distinct atom combination —
+    tuples in the same lineage equivalence class share one ``frozenset``
+    object, which also speeds up the class grouping downstream.
+
+    ``scan`` (the sqlite backend's ``GROUP BY`` over the lineage-atom
+    columns) pre-builds the lineage table so each row resolves its lineage
+    with a single dict lookup; rows whose values don't hit the table (e.g.
+    after a type drift through SQL) fall back to the column-cached scan.
 
     Tuples with ``None`` in a numerical predicate attribute are *dead*: no
     refinement can ever select them (``None`` fails every comparison), so they
@@ -253,9 +376,16 @@ def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatab
 
     store = relation.column_store()
     numerical_domains: dict[str, list[float]] = {}
-    for predicate in query.numerical_predicates:
+    for position, predicate in enumerate(query.numerical_predicates):
         values = None
-        if store is not None:
+        if scan is not None:
+            # One scan column per *predicate* (attributes may repeat across
+            # predicates, e.g. GPA <= and GPA >=), categorical columns first.
+            offset = len(query.categorical_predicates) + position
+            values = sorted(
+                {float(combo[offset]) for combo in scan if combo[offset] is not None}
+            )
+        if values is None and store is not None:
             view = store.numeric(predicate.attribute)
             if view is not None:
                 values = _np.unique(view[~_np.isnan(view)]).tolist()
@@ -286,33 +416,54 @@ def annotate_result(query: SPJQuery, unfiltered: RankedResult) -> AnnotatedDatab
         for predicate in query.numerical_predicates
     ]
     lineage_cache: dict[tuple[LineageAtom, ...], frozenset[LineageAtom]] = {}
+    lineage_table = _lineage_table(query, scan) if scan is not None else None
+    predicate_indices = [index for _, index, _ in categorical_columns] + [
+        index for _, _, index, _ in numerical_columns
+    ]
+    numerical_start = len(categorical_columns)
 
     annotated: list[AnnotatedTuple] = []
     for position, row in enumerate(relation.rows):
-        atoms: list[LineageAtom] = []
-        dead = False
-        for attribute, index, atom_cache in categorical_columns:
-            value = row[index]
-            atom = atom_cache.get(value)
-            if atom is None:
-                atom = atom_cache[value] = CategoricalAtom(attribute, value)
-            atoms.append(atom)
-        for attribute, operator, index, atom_cache in numerical_columns:
-            raw = row[index]
-            if raw is None:
-                dead = True
-                break
-            value = float(raw)
-            atom = atom_cache.get(value)
-            if atom is None:
-                atom = atom_cache[value] = NumericalAtom(attribute, operator, value)
-            atoms.append(atom)
-        if dead:
-            continue
-        atom_key = tuple(atoms)
-        lineage = lineage_cache.get(atom_key)
+        lineage = None
+        if lineage_table is not None:
+            combo = tuple(
+                row[index]
+                if offset < numerical_start
+                else (None if row[index] is None else float(row[index]))
+                for offset, index in enumerate(predicate_indices)
+            )
+            if None in combo[numerical_start:]:
+                continue  # dead tuple
+            lineage = lineage_table.get(combo)
         if lineage is None:
-            lineage = lineage_cache[atom_key] = frozenset(atoms)
+            atoms: list[LineageAtom] = []
+            dead = False
+            for attribute, index, atom_cache in categorical_columns:
+                value = row[index]
+                atom = atom_cache.get(value)
+                if atom is None:
+                    atom = atom_cache[value] = ATOM_INTERNER.categorical(
+                        attribute, value
+                    )
+                atoms.append(atom)
+            for attribute, operator, index, atom_cache in numerical_columns:
+                raw = row[index]
+                if raw is None:
+                    dead = True
+                    break
+                value = float(raw)
+                atom = atom_cache.get(value)
+                if atom is None:
+                    atom = atom_cache[value] = ATOM_INTERNER.numerical(
+                        attribute, operator, value
+                    )
+                atoms.append(atom)
+            if dead:
+                continue
+            atom_key = tuple(atoms)
+            lineage = lineage_cache.get(atom_key)
+            if lineage is None:
+                lineage = lineage_cache[atom_key] = frozenset(atoms)
         distinct_key = (
             tuple(row[i] for i in distinct_indices) if distinct_indices is not None else None
         )

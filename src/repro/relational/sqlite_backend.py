@@ -19,10 +19,22 @@ columns and the ranking attribute are indexed on first use.
 The original cross-check API (:meth:`SQLiteExecutor.execute` returning
 projected values, and :meth:`SQLiteExecutor.execute_sql` for raw SQL) is kept
 for the examples and the property-based tests.
+
+Persistence: pointing the executor at a file (``path=`` /
+``REPRO_EXECUTOR_DB``) makes the indexed database survive the process.  Each
+table is stored together with a content fingerprint; a later process that
+opens the same file with the same data *adopts* the stored table instead of
+reloading it, so repeated benchmark runs — and the forked workers of the
+parallel sweep engine — skip the load phase entirely.  The fingerprint hashes
+the schema, the row count and a deterministic sample of rows; a persisted
+file is therefore assumed to be dedicated to one dataset configuration
+(within one process, swapped relations are still tracked by object identity
+and always reloaded).
 """
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
 from typing import Sequence
 
@@ -32,6 +44,9 @@ from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import AttributeKind
 from repro.relational.sqlgen import _quote_identifier, render_where
+
+#: Rows sampled (evenly, plus first and last) into a relation fingerprint.
+_FINGERPRINT_SAMPLE = 1024
 
 
 def _predicate_parameters(where: Conjunction) -> list:
@@ -45,12 +60,36 @@ def _predicate_parameters(where: Conjunction) -> list:
     return parameters
 
 
+def relation_fingerprint(relation: Relation) -> str:
+    """Content fingerprint used to validate persisted tables across processes."""
+    digest = hashlib.sha256()
+    digest.update(
+        repr(
+            (
+                relation.name,
+                [(a.name, a.kind.value) for a in relation.schema],
+                len(relation),
+            )
+        ).encode()
+    )
+    rows = relation.rows
+    step = max(1, len(rows) // _FINGERPRINT_SAMPLE)
+    digest.update(repr(rows[::step]).encode())
+    if rows:
+        digest.update(repr(rows[-1]).encode())
+    return digest.hexdigest()
+
+
 class SQLiteExecutor:
     """Materialises a :class:`Database` into sqlite and runs queries as SQL."""
 
     def __init__(self, database: Database, path: str = ":memory:") -> None:
+        self.path = path
         self.connection = sqlite3.connect(path, cached_statements=256)
         self._database = database
+        self._persistent = path != ":memory:"
+        #: Relations actually (re)loaded by this process (0 on a warm open).
+        self.load_count = 0
         #: Loaded relation per table name.  Holding the object itself (not a
         #: bare id) keeps it alive, so a replacement relation can never reuse
         #: the freed object's id and masquerade as the loaded one.
@@ -58,8 +97,16 @@ class SQLiteExecutor:
         self._indexed: set[tuple[str, str]] = set()
         self._sql_cache: dict[tuple, str] = {}
         self._window_functions = sqlite3.sqlite_version_info >= (3, 25, 0)
+        if self._persistent:
+            # Concurrent pool workers may open the file while the parent is
+            # still writing; wait for the writer instead of failing.
+            self.connection.execute("PRAGMA busy_timeout = 30000")
+            self.connection.execute(
+                "CREATE TABLE IF NOT EXISTS __repro_fingerprints "
+                "(name TEXT PRIMARY KEY, fingerprint TEXT)"
+            )
         for relation in database:
-            self._load_relation(relation)
+            self._ensure_relation(relation)
         self.connection.commit()
 
     def close(self) -> None:
@@ -72,6 +119,51 @@ class SQLiteExecutor:
         self.close()
 
     # -- loading -------------------------------------------------------------------
+
+    def _stored_fingerprint(self, name: str) -> str | None:
+        if not self._persistent:
+            return None
+        row = self.connection.execute(
+            "SELECT fingerprint FROM __repro_fingerprints WHERE name = ?", (name,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def _table_exists(self, name: str) -> bool:
+        row = self.connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def _ensure_relation(self, relation: Relation) -> bool:
+        """Make sure ``relation`` is queryable; load only when needed.
+
+        Returns ``True`` when the table was actually (re)loaded.  A relation
+        already loaded by this process is tracked by object identity (same
+        immutable object = unchanged contents); on first encounter, a
+        persisted table with a matching content fingerprint is adopted
+        without reloading.
+        """
+        name = relation.name
+        if self._loaded.get(name) is relation:
+            return False
+        fingerprint = relation_fingerprint(relation) if self._persistent else None
+        if name not in self._loaded and fingerprint is not None:
+            if self._stored_fingerprint(name) == fingerprint and self._table_exists(name):
+                self._loaded[name] = relation
+                return False
+        self.connection.execute(
+            f"DROP TABLE IF EXISTS {_quote_identifier(relation.name)}"
+        )
+        self._indexed = {entry for entry in self._indexed if entry[0] != name}
+        self._load_relation(relation)
+        if fingerprint is not None:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO __repro_fingerprints (name, fingerprint) "
+                "VALUES (?, ?)",
+                (name, fingerprint),
+            )
+        self.load_count += 1
+        return True
 
     def _load_relation(self, relation: Relation) -> None:
         cursor = self.connection.cursor()
@@ -101,14 +193,7 @@ class SQLiteExecutor:
         """
         stale = False
         for relation in self._database:
-            if self._loaded.get(relation.name) is not relation:
-                self.connection.execute(
-                    f"DROP TABLE IF EXISTS {_quote_identifier(relation.name)}"
-                )
-                self._indexed = {
-                    entry for entry in self._indexed if entry[0] != relation.name
-                }
-                self._load_relation(relation)
+            if self._ensure_relation(relation):
                 stale = True
         if stale:
             # Alias/source resolution can change with a new schema.
@@ -183,14 +268,17 @@ class SQLiteExecutor:
             sql = self._sql_cache[shape] = self._build_pushdown_sql(query)
         return sql
 
-    def _build_pushdown_sql(self, query: SPJQuery) -> str:
-        tables = query.tables
+    def _aliased_join(self, tables) -> tuple[list[str], dict[str, str], list[str]]:
+        """Aliases, attribute -> alias map and FROM parts of the natural join.
+
+        Natural-join semantics with explicit conditions: each shared
+        attribute equates with the first table that carries it, and IS (not
+        =) matches the in-memory hash join where NULL keys join with NULL.
+        Shared by the pushdown statement and the annotation scan so both
+        always join identically.
+        """
         aliases = [f"t{i}" for i in range(len(tables))]
         schemas = [self._database.relation(name).schema for name in tables]
-
-        # Natural-join semantics with explicit conditions: each shared
-        # attribute equates with the first table that carries it, and IS (not
-        # =) matches the in-memory hash join where NULL keys join with NULL.
         source: dict[str, str] = {}
         for name in schemas[0].names:
             source[name] = aliases[0]
@@ -210,6 +298,10 @@ class SQLiteExecutor:
                 from_parts.append(f"CROSS JOIN {quoted}")
             for name in schemas[position].names:
                 source.setdefault(name, alias)
+        return aliases, source, from_parts
+
+    def _build_pushdown_sql(self, query: SPJQuery) -> str:
+        aliases, source, from_parts = self._aliased_join(query.tables)
 
         where_parts = []
         for predicate in query.where:
@@ -268,6 +360,29 @@ class SQLiteExecutor:
             f"SELECT {rid_select} FROM {from_clause} WHERE {where_clause} "
             f"ORDER BY ({rank} IS NULL), {rank} {direction}, {rowids}"
         )
+
+    # -- annotation pushdown -----------------------------------------------------------
+
+    def annotation_scan(self, query: SPJQuery) -> list[tuple]:
+        """Distinct lineage-atom value combinations of ``~Q(D)`` via ``GROUP BY``.
+
+        One row per distinct combination of the query's predicate-attribute
+        values across the unfiltered join, in predicate order (categorical
+        attributes first, then numerical — matching the annotation pass).
+        The annotation scan then interns one lineage set per combination
+        instead of consulting per-predicate atom caches row by row.
+        """
+        _, source, from_parts = self._aliased_join(query.tables)
+        attributes = [
+            predicate.attribute for predicate in query.categorical_predicates
+        ] + [predicate.attribute for predicate in query.numerical_predicates]
+        columns = ", ".join(
+            f"{source[name]}.{_quote_identifier(name)}" for name in attributes
+        )
+        cursor = self.connection.execute(
+            f"SELECT {columns} FROM {' '.join(from_parts)} GROUP BY {columns}"
+        )
+        return cursor.fetchall()
 
     # -- value-level execution (cross-checking and examples) --------------------------
 

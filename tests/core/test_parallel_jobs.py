@@ -1,0 +1,190 @@
+"""The parallel sharded sweep engine: jobs resolution and determinism.
+
+``jobs=N`` must produce byte-identical refinements, distances, deviations and
+candidate counts to the serial ``jobs=1`` path on every registered dataset —
+including under a ``max_candidates`` cap, whose truncation point the shard
+budgets reproduce exactly — and invalid worker counts must be rejected with a
+clear error, whether they arrive via the ``jobs=`` argument or the
+``REPRO_SOLVER_JOBS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstraintSet, NaiveProvenanceSearch, NaiveSearch, at_least
+from repro.core.parallel import resolve_jobs
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.exceptions import ReproError
+
+#: Reduced sizes so every registered dataset can be searched twice per test.
+_SMALL_PARAMETERS = {
+    "students": {},
+    "astronauts": {"num_rows": 120},
+    "law_students": {"num_rows": 400},
+    "meps": {"num_rows": 400},
+    "tpch": {"scale_factor": 0.05},
+}
+
+#: Bounds the astronauts space (~2^100 candidates) while still spanning many
+#: shards of every other dataset.
+_CANDIDATE_CAP = 600
+
+
+def _bundle(name):
+    return load_dataset(name, **_SMALL_PARAMETERS[name])
+
+
+def _any_constraints(bundle) -> ConstraintSet:
+    unfiltered_groups = {
+        "students": {"Gender": "F"},
+        "astronauts": {"Gender": "F"},
+        "law_students": {"Sex": "F"},
+        "meps": {"Sex": "F"},
+        "tpch": {"MktSegment": "AUTOMOBILE"},
+    }
+    return ConstraintSet([at_least(2, 10, **unfiltered_groups[bundle.name])])
+
+
+def _signature(result):
+    return (
+        result.feasible,
+        result.refinement,
+        result.distance_value,
+        result.deviation,
+        result.candidates_examined,
+        result.exhausted,
+        result.timed_out,
+    )
+
+
+# -- jobs resolution -------------------------------------------------------------------
+
+
+def test_resolve_jobs_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_SOLVER_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(4) == 4
+
+
+@pytest.mark.parametrize("bad", [0, -1, -17])
+def test_explicit_non_positive_jobs_rejected(bad):
+    bundle = _bundle("students")
+    with pytest.raises(ReproError, match="at least one worker"):
+        NaiveProvenanceSearch(
+            bundle.database, bundle.query, _any_constraints(bundle), jobs=bad
+        )
+
+
+@pytest.mark.parametrize("bad", ["0", "-1"])
+def test_env_non_positive_jobs_rejected(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_SOLVER_JOBS", bad)
+    with pytest.raises(ReproError, match="REPRO_SOLVER_JOBS"):
+        resolve_jobs()
+
+
+def test_env_non_integer_jobs_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_JOBS", "many")
+    with pytest.raises(ReproError, match="positive integer"):
+        resolve_jobs()
+
+
+def test_env_jobs_feeds_the_search(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_JOBS", "3")
+    bundle = _bundle("students")
+    search = NaiveProvenanceSearch(
+        bundle.database, bundle.query, _any_constraints(bundle)
+    )
+    assert search.jobs == 3
+
+
+def test_explicit_jobs_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_JOBS", "3")
+    bundle = _bundle("students")
+    search = NaiveProvenanceSearch(
+        bundle.database, bundle.query, _any_constraints(bundle), jobs=1
+    )
+    assert search.jobs == 1
+
+
+# -- jobs parity (the determinism contract) --------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+def test_naive_prov_jobs_parity(name):
+    bundle = _bundle(name)
+    constraints = _any_constraints(bundle)
+
+    def run(jobs):
+        return NaiveProvenanceSearch(
+            bundle.database,
+            bundle.query,
+            constraints,
+            max_candidates=_CANDIDATE_CAP,
+            jobs=jobs,
+        ).search()
+
+    assert _signature(run(2)) == _signature(run(1))
+
+
+def test_naive_prov_jobs_parity_exhaustive():
+    """Full-space parity (no candidate cap) on an exhaustible dataset."""
+    bundle = _bundle("meps")
+    constraints = _any_constraints(bundle)
+
+    def run(jobs):
+        return NaiveProvenanceSearch(
+            bundle.database, bundle.query, constraints, jobs=jobs
+        ).search()
+
+    serial = run(1)
+    assert serial.exhausted
+    assert _signature(run(3)) == _signature(serial)
+
+
+def test_naive_dbms_search_jobs_parity():
+    """The DBMS-re-evaluating Naive baseline shards identically too."""
+    bundle = _bundle("students")
+    constraints = _any_constraints(bundle)
+
+    def run(jobs):
+        return NaiveSearch(
+            bundle.database,
+            bundle.query,
+            constraints,
+            max_candidates=200,
+            jobs=jobs,
+        ).search()
+
+    assert _signature(run(2)) == _signature(run(1))
+
+
+def test_jobs_parity_on_sqlite_backend(tmp_path):
+    """Workers reopen their own connection against the persisted database."""
+    bundle = _bundle("meps")
+    constraints = _any_constraints(bundle)
+    path = str(tmp_path / "meps.sqlite")
+
+    def run(jobs):
+        return NaiveSearch(
+            bundle.database,
+            bundle.query,
+            constraints,
+            max_candidates=150,
+            jobs=jobs,
+            executor_backend="sqlite",
+            executor_db=path,
+        ).search()
+
+    assert _signature(run(2)) == _signature(run(1))
+
+
+def test_parallel_timeout_terminates_and_flags():
+    """A sharded search over an astronomically large space honours its deadline."""
+    bundle = _bundle("astronauts")
+    constraints = _any_constraints(bundle)
+    result = NaiveProvenanceSearch(
+        bundle.database, bundle.query, constraints, timeout=0.5, jobs=2
+    ).search()
+    assert result.timed_out
+    assert not result.exhausted

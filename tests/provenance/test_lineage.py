@@ -151,3 +151,114 @@ def test_property_relevant_prefix_never_drops_class_leaders(k_star):
     for positions in annotated.lineage_classes.values():
         kept_in_class = [p for p in positions if p in kept_positions]
         assert kept_in_class == positions[: min(k_star, len(positions))]
+
+
+class TestAtomInterner:
+    """Process-wide atom interning: shared identities, fork-safe, clearable."""
+
+    def test_atoms_shared_across_annotations(self):
+        database = law_students_database(num_rows=120, seed=3)
+        query = law_students_query()
+        first = annotate(query, database)
+        second = annotate(query, database)
+        def key(atom):
+            return (
+                type(atom),
+                atom.attribute,
+                getattr(atom, "operator", None),
+                atom.value,
+            )
+
+        atoms_by_key = {
+            key(atom): atom
+            for annotated_tuple in first.tuples
+            for atom in annotated_tuple.lineage
+        }
+        for annotated_tuple in second.tuples:
+            for atom in annotated_tuple.lineage:
+                assert atoms_by_key[key(atom)] is atom
+
+    def test_interner_lock_reinitialised_in_forked_child(self):
+        import multiprocessing
+
+        from repro.provenance.lineage import ATOM_INTERNER
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+
+        def child(queue):
+            # The child must be able to intern immediately: a held inherited
+            # lock (or a poisoned table) would deadlock or crash here.
+            atom = ATOM_INTERNER.categorical("Attr", "value")
+            queue.put(atom.label())
+
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        process = context.Process(target=child, args=(queue,))
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        assert queue.get(timeout=5) == "Attr[value]"
+
+    def test_clear_resets_the_tables(self):
+        from repro.provenance.lineage import ATOM_INTERNER
+
+        atom = ATOM_INTERNER.categorical("Attr", "x")
+        assert ATOM_INTERNER.categorical("Attr", "x") is atom
+        ATOM_INTERNER.clear()
+        assert ATOM_INTERNER.categorical("Attr", "x") is not atom
+
+
+class TestSqlAnnotationScan:
+    """The sqlite GROUP BY scan yields the same annotation as the memory path."""
+
+    def test_scan_annotation_matches_memory_annotation(self):
+        from repro.relational.executor import QueryExecutor
+
+        database = law_students_database(num_rows=200, seed=7)
+        query = law_students_query()
+        memory = annotate(query, database)
+        executor = QueryExecutor(database, backend="sqlite")
+        scanned = annotate(query, database, executor=executor)
+        assert executor.annotation_scan(query) is not None
+        assert len(scanned) == len(memory)
+        assert scanned.numerical_domains == memory.numerical_domains
+        assert scanned.categorical_domains == memory.categorical_domains
+        assert [t.position for t in scanned.tuples] == [
+            t.position for t in memory.tuples
+        ]
+        assert [t.lineage for t in scanned.tuples] == [
+            t.lineage for t in memory.tuples
+        ]
+        assert [dict(t.values) for t in scanned.tuples] == [
+            dict(t.values) for t in memory.tuples
+        ]
+
+    def test_scan_domains_with_repeated_predicate_attributes(self):
+        """A numerical predicate after two same-attribute ones must read its
+        own scan column, not the repeated attribute's (regression)."""
+        from repro.datasets import meps_database
+        from repro.relational.executor import QueryExecutor
+        from repro.relational.predicates import Conjunction, NumericalPredicate
+        from repro.relational.query import OrderBy, SPJQuery
+
+        database = meps_database(num_rows=150, seed=2)
+        base = meps_database(num_rows=150, seed=2)
+        query = SPJQuery(
+            tables=["MEPS"],
+            where=Conjunction(
+                [
+                    NumericalPredicate("Age", ">=", 20),
+                    NumericalPredicate("Age", "<=", 60),
+                    NumericalPredicate("Family Size", ">=", 2),
+                ]
+            ),
+            order_by=OrderBy("Utilization", descending=True),
+            name="Q_M_dup",
+        )
+        memory = annotate(query, database)
+        executor = QueryExecutor(base, backend="sqlite")
+        scanned = annotate(query, base, executor=executor)
+        assert scanned.numerical_domains == memory.numerical_domains
+        assert scanned.numerical_domains["Family Size"] != scanned.numerical_domains["Age"]
+        assert [t.lineage for t in scanned.tuples] == [t.lineage for t in memory.tuples]

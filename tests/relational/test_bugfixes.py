@@ -78,6 +78,9 @@ class TestBackendSelection:
 
     def test_backend_defaults_to_memory(self, monkeypatch):
         monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        # REPRO_EXECUTOR_DB implies the sqlite backend, so the memory default
+        # only applies with neither variable set.
+        monkeypatch.delenv("REPRO_EXECUTOR_DB", raising=False)
         assert QueryExecutor(self._database()).backend == "memory"
 
     def test_backend_from_environment(self, monkeypatch):

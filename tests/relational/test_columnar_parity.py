@@ -217,6 +217,31 @@ def test_batched_and_per_candidate_search_agree():
     assert fast.deviation == slow.deviation
 
 
+@pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+def test_jobs_axis_parity(name):
+    """The jobs axis of the engine matrix: sharded == serial on every dataset."""
+    bundle = _bundle(name)
+    constraints = ConstraintSet([at_least(1, 5, **_any_group(bundle))])
+
+    def run(jobs):
+        return NaiveProvenanceSearch(
+            bundle.database,
+            bundle.query,
+            constraints,
+            max_candidates=250,
+            jobs=jobs,
+        ).search()
+
+    serial = run(1)
+    sharded = run(2)
+    assert sharded.feasible == serial.feasible
+    assert sharded.candidates_examined == serial.candidates_examined
+    assert sharded.refinement == serial.refinement
+    assert sharded.distance_value == serial.distance_value
+    assert sharded.deviation == serial.deviation
+    assert sharded.exhausted == serial.exhausted
+
+
 @needs_numpy
 def test_full_naive_prov_search_matches_rowwise_result():
     """End-to-end: the fast search picks the same refinement as the row path."""
