@@ -1,0 +1,88 @@
+"""Performance guards for the MILP engine (run via ``pytest -m perf_smoke``).
+
+Two budgets lock in the PR-5 wins:
+
+* the reduced-scale meps MILP+OPT QD search — whose per-tuple model
+  construction and unit prefix chain used to cost ~5.8s end-to-end — must
+  finish (setup + solve) inside half that, locking the ≥2× speed-up of the
+  √n-block prefix chain, top-k relevancy pruning and block lowering;
+* the Section 5.3 Erica enumeration (``num_solutions=3``) must perform
+  exactly **one** full lowering (no-good cuts extend the cached standard
+  form) and finish inside 1/1.5 of its pre-PR ~1.49s.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ConstraintSet, EricaBaseline, at_least
+from repro.datasets import law_students_database
+from repro.datasets.law_students import law_students_erica_query
+
+from benchmarks.support import (
+    default_constraint_set,
+    print_records,
+    run_milp,
+    RunRecord,
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+#: Pre-PR reduced-scale baselines (benchmarks/results/latest.json on main):
+#: meps MILP+OPT QD total 5.78s; Erica num_solutions=3 total 1.49s.
+MEPS_MILP_BUDGET_SECONDS = float(os.environ.get("REPRO_MILP_SMOKE_BUDGET", "2.89"))
+ERICA_BUDGET_SECONDS = float(os.environ.get("REPRO_ERICA_SMOKE_BUDGET", "0.99"))
+
+
+def test_meps_milp_opt_total_under_budget():
+    record = run_milp("meps", default_constraint_set("meps"), distance="pred")
+    print_records("perf smoke (meps, MILP+OPT lowering)", [record])
+    assert record.feasible
+    assert not record.timed_out
+    total = record.setup_seconds + record.solve_seconds
+    assert total < MEPS_MILP_BUDGET_SECONDS, (
+        f"meps MILP+OPT setup+solve took {total:.3f}s, budget is "
+        f"{MEPS_MILP_BUDGET_SECONDS:.2f}s (2x the pre-block-lowering 5.78s) — "
+        "the MILP engine has regressed"
+    )
+
+
+def test_erica_enumeration_lowers_once_and_stays_fast():
+    database = law_students_database(num_rows=1_500, seed=11)
+    query = law_students_erica_query()
+    constraints = ConstraintSet([at_least(25, 50, Sex="F")])
+    baseline = EricaBaseline(database, query, constraints, output_size=50)
+    result = baseline.solve(num_solutions=3)
+
+    assert len(result.refinements) == 3
+    statistics = result.model_statistics
+    assert statistics["full_lowerings"] == 1, (
+        "Erica's num_solutions enumeration must lower the program exactly "
+        f"once; saw {statistics['full_lowerings']} full lowerings"
+    )
+    assert statistics["incremental_extensions"] == 2
+
+    print_records(
+        "perf smoke (Erica num_solutions=3)",
+        [
+            RunRecord(
+                dataset="law_students",
+                algorithm="ERICA(n=3)",
+                distance="QD",
+                feasible=result.feasible,
+                timed_out=False,
+                setup_seconds=result.setup_seconds,
+                solve_seconds=result.solve_seconds,
+                total_seconds=result.total_seconds,
+                distance_value=result.refinements[0].distance_value,
+                extra=dict(statistics),
+            )
+        ],
+    )
+    assert result.total_seconds < ERICA_BUDGET_SECONDS, (
+        f"Erica num_solutions=3 took {result.total_seconds:.3f}s, budget is "
+        f"{ERICA_BUDGET_SECONDS:.2f}s (1.5x under the pre-aggregation 1.49s) — "
+        "lineage aggregation or the incremental re-solve has regressed"
+    )

@@ -16,6 +16,26 @@ This re-implementation follows that published problem statement:
 * several refinements can be returned, enumerated in order of increasing
   distance by adding no-good cuts and re-solving — mirroring Erica's ranked
   list of refinements.
+
+Engine notes:
+
+* **Lineage aggregation.**  For non-DISTINCT queries a tuple is in the output
+  exactly when all of its lineage atoms hold, so tuples sharing a lineage set
+  and a group-membership signature are interchangeable for whole-output
+  counting.  Each such class collapses into one bounded integer *count*
+  variable ``n_c ∈ [0, |c|]`` tied to its lineage's selection binary
+  (``n_c = |c|·b_L``) — the whole-output analogue of the paper's Section 4
+  lineage-class merging.  The HiGHS model shrinks by the duplicate factor
+  while extracted refinements (which read only the predicate variables) are
+  unchanged.  DISTINCT queries keep the per-tuple encoding: de-duplication
+  makes tuples of a class non-interchangeable.
+* **Incremental enumeration.**  The lowered standard form is cached on the
+  :class:`~repro.milp.Model`; each no-good cut appends rows to the cached CSR
+  instead of re-lowering, so ``num_solutions = n`` performs exactly one full
+  lowering.  When a time budget is given it is split evenly across the
+  remaining solves, and the previous optimum is passed to the
+  branch-and-bound backend as a proven lower bound (cuts only move the
+  optimum up), letting it stop as soon as it matches.
 """
 
 from __future__ import annotations
@@ -25,10 +45,16 @@ from dataclasses import dataclass, field
 
 from repro.core.constraints import CardinalityConstraint, ConstraintSet
 from repro.core.distances import PredicateDistance
+from repro.core.milp_builder import (
+    RowBatch,
+    build_numerical_predicate_variables,
+    flush_rows,
+    selection_rows,
+)
 from repro.core.refinement import Refinement
 from repro.exceptions import RefinementError
-from repro.milp.expression import LinearExpression, Variable, linear_sum
-from repro.milp.model import Model
+from repro.milp.expression import Variable, linear_sum
+from repro.milp.model import Model, SENSE_EQ, SENSE_GE, SENSE_LE
 from repro.milp.solution import Solution
 from repro.provenance.lineage import (
     AnnotatedDatabase,
@@ -60,6 +86,7 @@ class EricaResult:
     setup_seconds: float = 0.0
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
+    model_statistics: dict[str, int] = field(default_factory=dict)
 
     @property
     def feasible(self) -> bool:
@@ -71,7 +98,19 @@ class EricaResult:
 
 
 class EricaBaseline:
-    """Provenance-based refinement for whole-output cardinality constraints."""
+    """Provenance-based refinement for whole-output cardinality constraints.
+
+    Parameters
+    ----------
+    aggregate_lineage:
+        ``None`` (default) aggregates lineage classes whenever the query is
+        not DISTINCT; ``False`` forces the per-tuple encoding (used by the
+        golden tests to compare the two models); ``True`` insists on
+        aggregation and raises for DISTINCT queries.
+    block_lowering:
+        Emit constraint families as COO row blocks (default) or as one
+        ``LinearConstraint`` per row; both lower to identical matrices.
+    """
 
     def __init__(
         self,
@@ -82,12 +121,21 @@ class EricaBaseline:
         backend: str = "auto",
         executor_backend: str | None = None,
         executor_db: str | None = None,
+        aggregate_lineage: bool | None = None,
+        block_lowering: bool = True,
     ) -> None:
+        if aggregate_lineage and query.distinct:
+            raise RefinementError(
+                "lineage aggregation is unavailable for DISTINCT queries "
+                "(de-duplication makes same-lineage tuples non-interchangeable)"
+            )
         self.database = database
         self.query = query
         self.constraints = constraints
         self.output_size = output_size
         self.backend = backend
+        self.aggregate_lineage = aggregate_lineage
+        self.block_lowering = block_lowering
         self.distance = PredicateDistance()
         self._executor = QueryExecutor(
             database, backend=executor_backend, db_path=executor_db
@@ -106,13 +154,39 @@ class EricaBaseline:
         )
         setup_seconds = time.perf_counter() - setup_started
 
+        deadline = (
+            setup_started + setup_seconds + time_limit if time_limit is not None else None
+        )
         refinements: list[EricaRefinement] = []
         solve_seconds = 0.0
-        for _ in range(num_solutions):
-            solution = model.solve(self.backend, time_limit=time_limit)
+        previous_objective: float | None = None
+        for round_index in range(num_solutions):
+            options: dict[str, object] = {}
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                # Split the remaining budget evenly across the remaining
+                # solves, so an easy early solve donates its slack to the
+                # later, cut-constrained ones.
+                options["time_limit"] = remaining / (num_solutions - round_index)
+            if previous_objective is not None:
+                # Adding a no-good cut can only increase the optimum, so the
+                # previous objective is a proven lower bound (used by the
+                # branch-and-bound backend for early termination; the scipy
+                # backend ignores it).
+                options["known_lower_bound"] = previous_objective
+            solution = model.solve(self.backend, **options)
             solve_seconds += solution.solve_seconds
             if not solution.is_feasible:
                 break
+            if solution.is_optimal:
+                # Only a *proven* optimum is a valid lower bound for later
+                # rounds; a TIME_LIMIT/NODE_LIMIT incumbent may overshoot the
+                # true optimum and would let the fallback backend stop at a
+                # suboptimal solution.  (An older proven bound stays valid —
+                # cuts only move the optimum up — just weaker.)
+                previous_objective = solution.objective_value
             refinement = self._extract(
                 annotated, solution, categorical_variables, constant_variables,
                 indicator_variables,
@@ -131,11 +205,15 @@ class EricaBaseline:
                 model, solution, categorical_variables, indicator_variables
             )
 
+        statistics = dict(model.summary())
+        statistics["full_lowerings"] = model.full_lowerings
+        statistics["incremental_extensions"] = model.incremental_extensions
         return EricaResult(
             refinements=refinements,
             setup_seconds=setup_seconds,
             solve_seconds=solve_seconds,
             total_seconds=setup_seconds + solve_seconds,
+            model_statistics=statistics,
         )
 
     # -- model construction ------------------------------------------------------------
@@ -156,61 +234,24 @@ class EricaBaseline:
                 raise RefinementError(
                     "numerical equality predicates are not supported by the baseline"
                 )
-            attribute, operator = predicate.attribute, predicate.operator
-            domain = annotated.numeric_domain(attribute)
-            big_m = annotated.big_m(attribute)
-            delta = annotated.smallest_gap(attribute)
-            strict = 1.0 if operator.is_strict else 0.0
-            constant = model.continuous_var(
-                f"const[{attribute},{operator.value}]",
-                lower=min(domain) - 1.0,
-                upper=max(domain) + 1.0,
-            )
-            constant_variables[(attribute, operator)] = constant
-            for value in domain:
-                indicator = model.binary_var(f"num[{attribute}{operator.value}{value:g}]")
-                indicator_variables[(attribute, operator, value)] = indicator
-                if operator.is_lower_bound:
-                    model.add_constraint(constant + big_m * indicator >= value + (1 - strict) * delta)
-                    model.add_constraint(constant - big_m * (1 - indicator) <= value - strict * delta)
-                else:
-                    model.add_constraint(constant - big_m * indicator <= value - (1 - strict) * delta)
-                    model.add_constraint(constant + big_m * (1 - indicator) >= value + strict * delta)
+        build_numerical_predicate_variables(
+            model, self.query, annotated, constant_variables, indicator_variables,
+            self.block_lowering,
+        )
 
-        # One selection variable per tuple; selection = all lineage atoms hold
-        # and no better-ranked DISTINCT duplicate was selected.
-        selection: dict[int, Variable] = {}
-        for annotated_tuple in annotated.tuples:
-            selection[annotated_tuple.position] = model.binary_var(
-                f"r[{annotated_tuple.position}]"
+        aggregate = (
+            self.aggregate_lineage
+            if self.aggregate_lineage is not None
+            else not self.query.distinct
+        )
+        if aggregate:
+            self._build_aggregated_selection(
+                model, annotated, categorical_variables, indicator_variables
             )
-        num_predicates = self.query.num_predicates
-        for annotated_tuple in annotated.tuples:
-            variable = selection[annotated_tuple.position]
-            duplicates = annotated.duplicates_before(annotated_tuple.position)
-            lineage_sum = linear_sum(
-                self._atom_variable(atom, categorical_variables, indicator_variables)
-                for atom in annotated_tuple.lineage
+        else:
+            self._build_tuple_selection(
+                model, annotated, categorical_variables, indicator_variables
             )
-            duplicate_sum = linear_sum(1 - selection[other] for other in duplicates)
-            bound = num_predicates + len(duplicates)
-            body = lineage_sum + duplicate_sum - bound * variable
-            model.add_constraint(body >= 0)
-            model.add_constraint(body <= bound - 1)
-
-        # Whole-output group cardinality constraints (exact satisfaction).
-        for constraint in self.constraints:
-            members = [
-                selection[annotated_tuple.position]
-                for annotated_tuple in annotated.tuples
-                if constraint.group.matches(annotated_tuple.values)
-            ]
-            count = linear_sum(members) if members else LinearExpression()
-            self._add_cardinality(model, constraint, count)
-
-        if self.output_size is not None:
-            total = linear_sum(selection.values())
-            model.add_constraint(total == float(self.output_size), name="output_size")
 
         context = _EricaObjectiveContext(
             model, self.query, annotated, categorical_variables, constant_variables
@@ -218,12 +259,136 @@ class EricaBaseline:
         model.minimize(self.distance.build_objective(context))
         return model, categorical_variables, constant_variables, indicator_variables
 
+    def _build_tuple_selection(
+        self, model: Model, annotated: AnnotatedDatabase,
+        categorical_variables, indicator_variables,
+    ) -> None:
+        """One binary per tuple; selection = all lineage atoms hold and no
+        better-ranked DISTINCT duplicate was selected."""
+        selection: dict[int, Variable] = {}
+        for annotated_tuple in annotated.tuples:
+            selection[annotated_tuple.position] = model.binary_var(
+                f"r[{annotated_tuple.position}]"
+            )
+        num_predicates = self.query.num_predicates
+        batch = RowBatch()
+        for annotated_tuple in annotated.tuples:
+            position = annotated_tuple.position
+            selection_rows(
+                batch,
+                [
+                    model.index_of(
+                        self._atom_variable(atom, categorical_variables, indicator_variables)
+                    )
+                    for atom in annotated_tuple.lineage
+                ],
+                [
+                    model.index_of(selection[duplicate])
+                    for duplicate in annotated.duplicates_before(position)
+                ],
+                model.index_of(selection[position]),
+                num_predicates,
+            )
+
+        # Whole-output group cardinality constraints (exact satisfaction).
+        for constraint in self.constraints:
+            cols = [
+                model.index_of(selection[annotated_tuple.position])
+                for annotated_tuple in annotated.tuples
+                if constraint.group.matches(annotated_tuple.values)
+            ]
+            self._add_cardinality(batch, constraint, cols, [1.0] * len(cols))
+
+        if self.output_size is not None:
+            cols = [model.index_of(variable) for variable in selection.values()]
+            batch.add_row(
+                cols, [1.0] * len(cols), SENSE_EQ, float(self.output_size),
+                name="output_size",
+            )
+        flush_rows(model, batch, self.block_lowering)
+
+    def _build_aggregated_selection(
+        self, model: Model, annotated: AnnotatedDatabase,
+        categorical_variables, indicator_variables,
+    ) -> None:
+        """Lineage-aggregated encoding (non-DISTINCT queries).
+
+        One selection binary ``b_L`` per lineage class, one bounded integer
+        count variable ``n_c = |c|·b_L`` per (lineage, group signature) class;
+        cardinality and output-size rows count over the ``n_c``.
+        """
+        constraints = list(self.constraints)
+        # (lineage, signature) classes in first-appearance order.
+        class_sizes: dict[tuple[frozenset, tuple[bool, ...]], int] = {}
+        for annotated_tuple in annotated.tuples:
+            signature = tuple(
+                constraint.group.matches(annotated_tuple.values)
+                for constraint in constraints
+            )
+            key = (annotated_tuple.lineage, signature)
+            class_sizes[key] = class_sizes.get(key, 0) + 1
+
+        lineage_binaries: dict[frozenset, Variable] = {}
+        for lineage, _ in class_sizes:
+            if lineage not in lineage_binaries:
+                index = len(lineage_binaries)
+                lineage_binaries[lineage] = model.binary_var(f"r_lineage[{index}]")
+        count_variables: dict[tuple[frozenset, tuple[bool, ...]], Variable] = {}
+        for class_index, (key, size) in enumerate(class_sizes.items()):
+            count_variables[key] = model.integer_var(
+                f"n_class[{class_index}]", lower=0.0, upper=float(size)
+            )
+
+        num_predicates = self.query.num_predicates
+        batch = RowBatch()
+        for lineage, variable in lineage_binaries.items():
+            # b_L = 1 <=> all lineage atoms hold.
+            selection_rows(
+                batch,
+                [
+                    model.index_of(
+                        self._atom_variable(atom, categorical_variables, indicator_variables)
+                    )
+                    for atom in lineage
+                ],
+                (),
+                model.index_of(variable),
+                num_predicates,
+            )
+        for (lineage, _signature), variable in count_variables.items():
+            size = class_sizes[(lineage, _signature)]
+            batch.add_row(
+                [model.index_of(variable), model.index_of(lineage_binaries[lineage])],
+                [1.0, -float(size)],
+                SENSE_EQ,
+                0.0,
+            )
+
+        for constraint_index, constraint in enumerate(constraints):
+            cols = [
+                model.index_of(variable)
+                for (_, signature), variable in count_variables.items()
+                if signature[constraint_index]
+            ]
+            self._add_cardinality(batch, constraint, cols, [1.0] * len(cols))
+
+        if self.output_size is not None:
+            cols = [model.index_of(variable) for variable in count_variables.values()]
+            batch.add_row(
+                cols, [1.0] * len(cols), SENSE_EQ, float(self.output_size),
+                name="output_size",
+            )
+        flush_rows(model, batch, self.block_lowering)
+
     @staticmethod
-    def _add_cardinality(model: Model, constraint: CardinalityConstraint, count) -> None:
-        if constraint.bound_type.sign > 0:
-            model.add_constraint(count >= constraint.bound, name=f"erica[{constraint.label()}]")
-        else:
-            model.add_constraint(count <= constraint.bound, name=f"erica[{constraint.label()}]")
+    def _add_cardinality(
+        batch: RowBatch, constraint: CardinalityConstraint, cols, coeffs
+    ) -> None:
+        sense = SENSE_GE if constraint.bound_type.sign > 0 else SENSE_LE
+        batch.add_row(
+            cols, coeffs, sense, float(constraint.bound),
+            name=f"erica[{constraint.label()}]",
+        )
 
     @staticmethod
     def _atom_variable(atom, categorical_variables, indicator_variables) -> Variable:
@@ -274,7 +439,11 @@ class EricaBaseline:
     def _add_no_good_cut(
         self, model: Model, solution: Solution, categorical_variables, indicator_variables
     ) -> None:
-        """Exclude the binary signature of ``solution`` so the next solve differs."""
+        """Exclude the binary signature of ``solution`` so the next solve differs.
+
+        The appended row extends the model's cached standard form in place
+        (one CSR row), so re-solving does not re-lower the whole program.
+        """
         ones = []
         zeros = []
         for variable in list(categorical_variables.values()) + list(
@@ -286,7 +455,7 @@ class EricaBaseline:
                 zeros.append(variable)
         # Standard no-good cut: at least one binary must flip.
         expression = linear_sum(1 - v for v in ones) + linear_sum(zeros)
-        model.add_constraint(expression >= 1, name=f"no_good[{len(model.constraints)}]")
+        model.add_constraint(expression >= 1, name=f"no_good[{model.num_constraints}]")
 
 
 @dataclass

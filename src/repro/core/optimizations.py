@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.core.constraints import BoundType, ConstraintSet
 from repro.provenance.lineage import AnnotatedDatabase, AnnotatedTuple
 
@@ -39,11 +41,20 @@ class BuilderOptions:
     relax_rank_expressions:
         Replace the rank-definition equality with an inequality for tuples
         whose groups have only lower-bound (or only upper-bound) constraints.
+    block_lowering:
+        Emit constraint families as COO row blocks
+        (:meth:`repro.milp.Model.add_constraint_block`) instead of one
+        :class:`LinearConstraint` per row.  This is a *lowering* detail, not a
+        Section 4 optimization: both values produce matrix-identical standard
+        forms (asserted by the golden tests), so it is ``True`` for the
+        paper's ``MILP`` and ``MILP+opt`` configurations alike and exists as
+        a switch only for those tests and for debugging.
     """
 
     relevancy_pruning: bool = True
     merge_lineage_variables: bool = True
     relax_rank_expressions: bool = True
+    block_lowering: bool = True
 
     @classmethod
     def none(cls) -> "BuilderOptions":
@@ -105,6 +116,83 @@ def apply_relevancy_pruning(
         annotated.categorical_domains,
         annotated.numerical_domains,
     )
+
+
+def forced_predecessor_counts(
+    annotated: AnnotatedDatabase, query, cap: int | None = None,
+    scan_limit: int = 8192,
+) -> dict[int, int] | None:
+    """For each tuple, how many earlier tuples every refinement selecting it selects.
+
+    For a non-DISTINCT query the selection variable of a tuple equals "all its
+    lineage atoms hold".  A lineage atom of an earlier tuple ``t'`` is
+    *implied* by the corresponding atom of ``t`` when satisfying ``t``'s atom
+    forces ``t'``'s: equal values for categorical predicates, ``v' >= v`` for
+    lower-bound numerical predicates (``v > C`` implies ``v' > C`` whenever
+    ``v' >= v``), and ``v' <= v`` for upper-bound ones.  If every predicate
+    implies, then any refinement selecting ``t`` also selects ``t'`` — so the
+    rank of ``t``, when selected, is at least ``1 +`` this count.
+
+    Returns a position → count mapping, or ``None`` when the bound does not
+    apply (DISTINCT queries, where de-duplication breaks the equivalence, or
+    non-numeric values in a numerical predicate column).  With ``cap`` the
+    scan stops counting a tuple's dominators once ``cap`` are found (the
+    caller only compares counts against ``k <= cap``), and ``scan_limit``
+    bounds how many nearest predecessors are examined per tuple, keeping the
+    otherwise O(n²) pairwise scan O(n·scan_limit) even when nothing
+    dominates.  Both cut-offs under-count, and an undercount only *keeps*
+    variables the exact count would have pruned — never the reverse — so the
+    pruning stays sound.
+
+    This is the rank-variable analogue of :func:`apply_relevancy_pruning`:
+    a tuple whose count is ``>= k`` can never rank within the top-``k`` of
+    any refinement, so its ``l_{t,k}`` variable is identically zero and the
+    MILP builder omits it (together with its rank variable and big-M rows).
+    """
+    if query.distinct:
+        return None
+    tuples = annotated.tuples
+    size = len(tuples)
+    lower_columns: list[np.ndarray] = []
+    upper_columns: list[np.ndarray] = []
+    categorical_columns: list[np.ndarray] = []
+    try:
+        for predicate in query.numerical_predicates:
+            column = np.array(
+                [float(t.values[predicate.attribute]) for t in tuples], dtype=np.float64
+            )
+            if predicate.operator.is_lower_bound:
+                lower_columns.append(column)
+            else:
+                upper_columns.append(column)
+    except (TypeError, ValueError):
+        return None
+    for predicate in query.categorical_predicates:
+        values = [t.values[predicate.attribute] for t in tuples]
+        codes = {value: code for code, value in enumerate(dict.fromkeys(values))}
+        categorical_columns.append(
+            np.array([codes[value] for value in values], dtype=np.int64)
+        )
+
+    chunk = 1024
+    counts: dict[int, int] = {}
+    for index, annotated_tuple in enumerate(tuples):
+        count = 0
+        stop = index
+        floor = max(0, index - scan_limit)
+        while stop > floor and (cap is None or count < cap):
+            start = max(floor, stop - chunk)
+            implied = np.ones(stop - start, dtype=bool)
+            for column in lower_columns:
+                implied &= column[start:stop] >= column[index]
+            for column in upper_columns:
+                implied &= column[start:stop] <= column[index]
+            for column in categorical_columns:
+                implied &= column[start:stop] == column[index]
+            count += int(np.count_nonzero(implied))
+            stop = start
+        counts[annotated_tuple.position] = count
+    return counts
 
 
 def classify_bound_types(

@@ -85,9 +85,15 @@ class RefinementSolver:
         ``"milp+opt"`` (default) applies the Section 4 optimizations;
         ``"milp"`` is the unoptimized formulation.
     backend:
-        MILP backend name passed to :func:`repro.milp.get_solver`.
+        MILP backend name passed to :func:`repro.milp.get_solver`
+        (``"auto"`` honours the ``REPRO_MILP_BACKEND`` environment variable).
     time_limit:
         Optional wall-clock limit (seconds) for the MILP backend.
+    solver_options:
+        Extra keyword arguments forwarded to the backend's ``solve`` — e.g.
+        ``mip_rel_gap``/``presolve``/``highs_options`` for the scipy (HiGHS)
+        backend, ``node_limit``/``warm_start_values``/``known_lower_bound``
+        for branch-and-bound.
     executor_backend, executor_db:
         Query execution backend (``"memory"``/``"sqlite"``) and optional
         on-disk sqlite path, forwarded to :class:`QueryExecutor`; both
@@ -107,6 +113,7 @@ class RefinementSolver:
         time_limit: float | None = None,
         executor_backend: str | None = None,
         executor_db: str | None = None,
+        solver_options: dict | None = None,
     ) -> None:
         method = method.lower()
         if method not in ("milp", "milp+opt"):
@@ -119,6 +126,7 @@ class RefinementSolver:
         self.method = method
         self.backend = backend
         self.time_limit = time_limit
+        self.solver_options = dict(solver_options or {})
         self.options = (
             BuilderOptions.all() if method == "milp+opt" else BuilderOptions.none()
         )
@@ -134,10 +142,13 @@ class RefinementSolver:
         original_result, artifacts = self._setup()
         setup_seconds = time.perf_counter() - setup_started
 
-        solution = artifacts.model.solve(self.backend, time_limit=self.time_limit)
+        solution = artifacts.model.solve(
+            self.backend, time_limit=self.time_limit, **self.solver_options
+        )
         solve_seconds = solution.solve_seconds
 
         result = self._extract(original_result, artifacts, solution)
+        result.model_statistics["full_lowerings"] = artifacts.model.full_lowerings
         result.setup_seconds = setup_seconds
         result.solve_seconds = solve_seconds
         result.total_seconds = setup_seconds + solve_seconds
@@ -239,6 +250,7 @@ def solve_refinement(
     time_limit: float | None = None,
     executor_backend: str | None = None,
     executor_db: str | None = None,
+    solver_options: dict | None = None,
 ) -> RefinementResult:
     """One-call convenience wrapper around :class:`RefinementSolver`."""
     solver = RefinementSolver(
@@ -252,6 +264,7 @@ def solve_refinement(
         time_limit=time_limit,
         executor_backend=executor_backend,
         executor_db=executor_db,
+        solver_options=solver_options,
     )
     return solver.solve()
 

@@ -31,18 +31,30 @@ from repro.milp.expression import (
     linear_sum,
 )
 from repro.milp.constraint import ConstraintSense, LinearConstraint
-from repro.milp.model import Model, ObjectiveSense
+from repro.milp.model import (
+    Model,
+    ObjectiveSense,
+    SENSE_EQ,
+    SENSE_GE,
+    SENSE_LE,
+    StandardForm,
+)
 from repro.milp.solution import Solution, SolveStatus
-from repro.milp.solvers import available_solvers, get_solver
+from repro.milp.solvers import BACKEND_ENV_VAR, available_solvers, get_solver
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "ConstraintSense",
     "LinearConstraint",
     "LinearExpression",
     "Model",
     "ObjectiveSense",
+    "SENSE_EQ",
+    "SENSE_GE",
+    "SENSE_LE",
     "Solution",
     "SolveStatus",
+    "StandardForm",
     "Variable",
     "VariableKind",
     "available_solvers",

@@ -66,6 +66,15 @@ class LinearConstraint:
         """Per-variable coefficients of the left-hand side."""
         return self.expression.terms
 
+    def iter_coefficients(self):
+        """Iterate ``(variable, coefficient)`` pairs without copying.
+
+        The standard-form lowering walks every constraint of a model; a dict
+        copy per constraint (what :meth:`coefficients` returns for external
+        callers) is measurable there.
+        """
+        return self.expression.iter_terms()
+
     def is_satisfied(
         self, assignment: Mapping[Variable, float], tolerance: float = 1e-6
     ) -> bool:

@@ -93,7 +93,7 @@ class Variable:
 
     def to_expression(self) -> "LinearExpression":
         """Return this variable as a single-term :class:`LinearExpression`."""
-        return LinearExpression({self: 1.0}, 0.0)
+        return LinearExpression._make({self: 1.0}, 0.0)
 
     def __add__(self, other):
         return self.to_expression() + other
@@ -148,12 +148,30 @@ class LinearExpression:
         self._terms = cleaned
         self._constant = float(constant)
 
+    @classmethod
+    def _make(cls, terms: dict["Variable", float], constant: float) -> "LinearExpression":
+        """Trusted constructor: takes ownership of an already-cleaned dict.
+
+        Internal fast path used by the arithmetic operators and
+        :func:`linear_sum`.  ``terms`` must map :class:`Variable` to non-zero
+        ``float`` coefficients; the caller hands over ownership (the dict must
+        not be mutated afterwards).
+        """
+        self = cls.__new__(cls)
+        self._terms = terms
+        self._constant = constant
+        return self
+
     # -- accessors ----------------------------------------------------------
 
     @property
     def terms(self) -> dict[Variable, float]:
         """Mapping from variable to coefficient (zero coefficients removed)."""
         return dict(self._terms)
+
+    def iter_terms(self):
+        """Iterate ``(variable, coefficient)`` pairs without copying the dict."""
+        return self._terms.items()
 
     @property
     def constant(self) -> float:
@@ -193,15 +211,29 @@ class LinearExpression:
         if isinstance(value, Variable):
             return value.to_expression()
         if isinstance(value, (int, float)):
-            return LinearExpression({}, float(value))
+            return LinearExpression._make({}, float(value))
         raise ModelError(f"cannot use {type(value).__name__} in a linear expression")
 
     def __add__(self, other) -> "LinearExpression":
         other = self._coerce(other)
-        terms = dict(self._terms)
-        for var, coeff in other._terms.items():
-            terms[var] = terms.get(var, 0.0) + coeff
-        return LinearExpression(terms, self._constant + other._constant)
+        a, b = self._terms, other._terms
+        constant = self._constant + other._constant
+        if not b:
+            return LinearExpression._make(dict(a), constant)
+        if not a:
+            return LinearExpression._make(dict(b), constant)
+        if a.keys().isdisjoint(b):
+            # Fast path: no overlapping variables, a plain dict merge suffices
+            # (no per-term get/accumulate and no cancellation to clean up).
+            return LinearExpression._make({**a, **b}, constant)
+        merged = dict(a)
+        for var, coeff in b.items():
+            value = merged.get(var, 0.0) + coeff
+            if value == 0.0:
+                del merged[var]
+            else:
+                merged[var] = value
+        return LinearExpression._make(merged, constant)
 
     def __radd__(self, other) -> "LinearExpression":
         return self.__add__(other)
@@ -216,8 +248,10 @@ class LinearExpression:
         if isinstance(factor, (LinearExpression, Variable)):
             raise ModelError("products of variables are not linear")
         factor = float(factor)
+        if factor == 0.0:
+            return LinearExpression._make({}, self._constant * factor)
         terms = {var: coeff * factor for var, coeff in self._terms.items()}
-        return LinearExpression(terms, self._constant * factor)
+        return LinearExpression._make(terms, self._constant * factor)
 
     def __rmul__(self, factor) -> "LinearExpression":
         return self.__mul__(factor)
@@ -262,9 +296,11 @@ class LinearExpression:
 def linear_sum(items: Iterable) -> LinearExpression:
     """Sum an iterable of variables/expressions/numbers into one expression.
 
-    Python's built-in :func:`sum` works too but builds ``O(n)`` intermediate
-    expressions; this helper accumulates in a single dictionary which matters
-    for the tuple-level expressions built over large datasets.
+    Python's built-in :func:`sum` builds ``O(n)`` intermediate expressions and
+    copies the growing terms dict on every ``+`` (``O(n²)`` dict work for an
+    n-term sum); this helper accumulates in a single dictionary and hands it
+    to the expression without another cleaning copy, which matters for the
+    tuple-level expressions built over large datasets.
     """
     terms: dict[Variable, float] = {}
     constant = 0.0
@@ -279,4 +315,7 @@ def linear_sum(items: Iterable) -> LinearExpression:
             constant += float(item)
         else:
             raise ModelError(f"cannot sum object of type {type(item).__name__}")
-    return LinearExpression(terms, constant)
+    cancelled = [var for var, coeff in terms.items() if coeff == 0.0]
+    for var in cancelled:
+        del terms[var]
+    return LinearExpression._make(terms, constant)

@@ -1,4 +1,21 @@
-"""The :class:`Model` container tying variables, constraints and an objective."""
+"""The :class:`Model` container tying variables, constraints and an objective.
+
+Constraints enter a model through two equivalent front doors:
+
+* :meth:`Model.add_constraint` — one :class:`LinearConstraint` at a time, the
+  classic modeling-layer path (kept as the reference semantics);
+* :meth:`Model.add_constraint_block` — a *block* of rows described by NumPy
+  COO triplets plus per-row senses and right-hand sides.  The refinement
+  MILPs emit thousands of structurally identical per-tuple rows; lowering
+  them as a handful of blocks avoids building one expression dict per tuple.
+
+Both paths lower into the same :class:`StandardForm`; the block and
+per-constraint lowerings of the same program are asserted matrix-identical by
+the golden tests.  The lowered form is cached on the model: re-solving an
+unchanged model reuses it, and *appending* constraints (no-good cuts,
+enumeration loops) extends the cached CSR matrices with just the new rows
+instead of re-lowering the whole program.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +37,94 @@ class ObjectiveSense(enum.Enum):
 
     MINIMIZE = "minimize"
     MAXIMIZE = "maximize"
+
+
+#: Integer sense codes used by :meth:`Model.add_constraint_block`.
+SENSE_LE = 0
+SENSE_GE = 1
+SENSE_EQ = 2
+
+_SENSE_TO_CODE = {
+    ConstraintSense.LESS_EQUAL: SENSE_LE,
+    ConstraintSense.GREATER_EQUAL: SENSE_GE,
+    ConstraintSense.EQUAL: SENSE_EQ,
+    "<=": SENSE_LE,
+    ">=": SENSE_GE,
+    "==": SENSE_EQ,
+    SENSE_LE: SENSE_LE,
+    SENSE_GE: SENSE_GE,
+    SENSE_EQ: SENSE_EQ,
+}
+
+
+def _sense_codes(senses, num_rows: int) -> np.ndarray:
+    """Normalise ``senses`` into an ``int8`` code array of length ``num_rows``."""
+    if isinstance(senses, np.ndarray) and senses.ndim == 1 and senses.dtype.kind in "iu":
+        # Fast path: an integer code array (what the builders emit) needs one
+        # vectorised validation, not a per-row dict lookup.
+        if senses.shape[0] != num_rows:
+            raise ModelError(
+                f"sense array has {senses.shape[0]} entries for {num_rows} rows"
+            )
+        # Validate before the int8 cast: a wider value like 256 would
+        # otherwise wrap onto a valid code instead of raising.
+        valid = np.isin(senses, (SENSE_LE, SENSE_GE, SENSE_EQ))
+        if not valid.all():
+            bad = senses[~valid][0]
+            raise ModelError(f"unknown constraint sense {int(bad)!r}")
+        return senses.astype(np.int8, copy=False)
+    if isinstance(senses, (str, ConstraintSense, int)) and not isinstance(senses, bool):
+        try:
+            code = _SENSE_TO_CODE[senses]
+        except (KeyError, TypeError):
+            raise ModelError(f"unknown constraint sense {senses!r}") from None
+        return np.full(num_rows, code, dtype=np.int8)
+    codes = np.empty(len(senses), dtype=np.int8)
+    for position, sense in enumerate(senses):
+        try:
+            codes[position] = _SENSE_TO_CODE[sense]
+        except (KeyError, TypeError):
+            raise ModelError(f"unknown constraint sense {sense!r}") from None
+    if codes.shape[0] != num_rows:
+        raise ModelError(
+            f"sense array has {codes.shape[0]} entries for {num_rows} rows"
+        )
+    return codes
+
+
+class _ConstraintBlock:
+    """A batch of constraint rows stored as COO triplets (internal)."""
+
+    __slots__ = ("rows", "cols", "coeffs", "senses", "rhs", "num_rows")
+
+    def __init__(self, rows, cols, coeffs, senses, rhs, num_variables: int) -> None:
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim != 1:
+            raise ModelError("block rhs must be a one-dimensional array")
+        num_rows = rhs.shape[0]
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.coeffs = np.asarray(coeffs, dtype=np.float64)
+        self.senses = _sense_codes(senses, num_rows)
+        self.rhs = rhs
+        self.num_rows = num_rows
+        if not (self.rows.shape == self.cols.shape == self.coeffs.shape):
+            raise ModelError(
+                "block triplets must have matching shapes: "
+                f"rows={self.rows.shape}, cols={self.cols.shape}, "
+                f"coeffs={self.coeffs.shape}"
+            )
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= num_rows:
+                raise ModelError(
+                    f"block row indices must lie in [0, {num_rows}); got "
+                    f"[{self.rows.min()}, {self.rows.max()}]"
+                )
+            if self.cols.min() < 0 or self.cols.max() >= num_variables:
+                raise ModelError(
+                    f"block column indices must lie in [0, {num_variables}); got "
+                    f"[{self.cols.min()}, {self.cols.max()}]"
+                )
 
 
 @dataclass(frozen=True)
@@ -57,16 +162,34 @@ class Model:
 
     The API mirrors common modeling layers (PuLP, docplex): create variables
     through the ``*_var`` factories, add :class:`LinearConstraint` objects
-    produced by comparison operators, set an objective, then :meth:`solve`.
+    produced by comparison operators (or row blocks through
+    :meth:`add_constraint_block`), set an objective, then :meth:`solve`.
+
+    The lowered :class:`StandardForm` is cached.  Cache rules:
+
+    * adding a variable or (re)setting the objective invalidates the cache;
+    * *appending* constraints keeps it — the next lowering extends the cached
+      CSR matrices with only the new rows (``incremental_extensions`` counts
+      these; ``full_lowerings`` counts rebuilds from scratch);
+    * mutating a :class:`Variable`'s bounds after a lowering is not tracked —
+      call :meth:`invalidate` explicitly in that case.
     """
 
     def __init__(self, name: str = "model") -> None:
         self.name = name
         self._variables: list[Variable] = []
         self._names: set[str] = set()
-        self._constraints: list[LinearConstraint] = []
+        self._indices: dict[Variable, int] = {}
+        self._entries: list[LinearConstraint | _ConstraintBlock] = []
+        self._num_rows = 0
         self._objective: LinearExpression = LinearExpression()
         self._sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+        self._form: StandardForm | None = None
+        self._form_entries = 0
+        #: Number of from-scratch lowerings (the perf guards assert on this).
+        self.full_lowerings = 0
+        #: Number of incremental row-append extensions of the cached form.
+        self.incremental_extensions = 0
 
     # -- variables -----------------------------------------------------------
 
@@ -75,7 +198,9 @@ class Model:
         if variable.name in self._names:
             raise ModelError(f"duplicate variable name {variable.name!r}")
         self._names.add(variable.name)
+        self._indices[variable] = len(self._variables)
         self._variables.append(variable)
+        self._form = None
         return variable
 
     def continuous_var(
@@ -104,6 +229,15 @@ class Model:
         """Create and register a 0/1 variable."""
         return self.add_variable(Variable(name, kind=VariableKind.BINARY))
 
+    def index_of(self, variable: Variable) -> int:
+        """Column index of a registered variable in the standard form."""
+        try:
+            return self._indices[variable]
+        except KeyError:
+            raise ModelError(
+                f"variable {variable.name!r} is not registered with this model"
+            ) from None
+
     @property
     def variables(self) -> list[Variable]:
         """All registered variables, in insertion order."""
@@ -131,7 +265,8 @@ class Model:
         if name is not None:
             constraint = constraint.named(name)
         self._check_known_variables(constraint.expression)
-        self._constraints.append(constraint)
+        self._entries.append(constraint)
+        self._num_rows += 1
         return constraint
 
     def add_constraints(self, constraints: Iterable[LinearConstraint]) -> None:
@@ -139,13 +274,41 @@ class Model:
         for constraint in constraints:
             self.add_constraint(constraint)
 
+    def add_constraint_block(self, rows, cols, coeffs, senses, rhs) -> None:
+        """Append a block of constraint rows described by COO triplets.
+
+        Parameters
+        ----------
+        rows, cols, coeffs:
+            Parallel arrays: entry ``i`` contributes ``coeffs[i]`` to column
+            ``cols[i]`` (a variable index, see :meth:`index_of`) of local row
+            ``rows[i]``.  Duplicate ``(row, col)`` pairs sum, mirroring how
+            expression dicts accumulate coefficients.
+        senses:
+            Per-row sense — an array of ``SENSE_LE``/``SENSE_GE``/``SENSE_EQ``
+            codes (``"<="``/``">="``/``"=="`` strings and
+            :class:`ConstraintSense` members are also accepted), or a single
+            scalar applied to every row.
+        rhs:
+            Per-row right-hand side; its length defines the number of rows.
+
+        The block occupies the same position in the lowering order as the
+        equivalent sequence of :meth:`add_constraint` calls, which is what
+        makes the two paths matrix-identical.
+        """
+        block = _ConstraintBlock(rows, cols, coeffs, senses, rhs, len(self._variables))
+        self._entries.append(block)
+        self._num_rows += block.num_rows
+
     @property
     def constraints(self) -> list[LinearConstraint]:
-        return list(self._constraints)
+        """Constraints added one at a time (block rows are not materialised)."""
+        return [e for e in self._entries if isinstance(e, LinearConstraint)]
 
     @property
     def num_constraints(self) -> int:
-        return len(self._constraints)
+        """Total constraint *rows*, counting every row of every block."""
+        return self._num_rows
 
     # -- objective ------------------------------------------------------------
 
@@ -169,6 +332,7 @@ class Model:
         self._check_known_variables(expression)
         self._objective = expression
         self._sense = sense
+        self._form = None
 
     @property
     def objective(self) -> LinearExpression:
@@ -181,21 +345,39 @@ class Model:
     # -- solving ---------------------------------------------------------------
 
     def solve(self, solver: str = "auto", **options) -> Solution:
-        """Solve the model with the named backend (see :func:`get_solver`)."""
+        """Solve the model with the named backend (see :func:`get_solver`).
+
+        ``solver="auto"`` honours the ``REPRO_MILP_BACKEND`` environment
+        variable before falling back to the best available backend.
+        """
         from repro.milp.solvers import get_solver
 
         backend = get_solver(solver)
         return backend.solve(self, **options)
 
+    def invalidate(self) -> None:
+        """Drop the cached standard form (e.g. after mutating variable bounds)."""
+        self._form = None
+
     def to_standard_form(self) -> StandardForm:
-        """Lower the model into the dense matrix form shared by backends."""
+        """Lower the model into the sparse matrix form shared by backends.
+
+        Returns the cached form when the model is unchanged; extends it with
+        only the new rows when constraints were appended since the last call.
+        """
+        if self._form is not None:
+            if self._form_entries == len(self._entries):
+                return self._form
+            return self._extend_form()
+        return self._full_lowering()
+
+    def _full_lowering(self) -> StandardForm:
         variables = self._variables
-        index = {var: i for i, var in enumerate(variables)}
         n = len(variables)
 
         c = np.zeros(n)
-        for var, coeff in self._objective.terms.items():
-            c[index[var]] = coeff
+        for var, coeff in self._objective.iter_terms():
+            c[self._indices[var]] = coeff
         maximize = self._sense is ObjectiveSense.MAXIMIZE
         if maximize:
             c = -c
@@ -210,49 +392,9 @@ class Model:
             [np.inf if var.upper is None else float(var.upper) for var in variables]
         )
 
-        ub_data: list[float] = []
-        ub_rows_idx: list[int] = []
-        ub_cols_idx: list[int] = []
-        ub_rhs: list[float] = []
-        eq_data: list[float] = []
-        eq_rows_idx: list[int] = []
-        eq_cols_idx: list[int] = []
-        eq_rhs: list[float] = []
-        for constraint in self._constraints:
-            rhs = constraint.rhs
-            coefficients = constraint.coefficients()
-            if constraint.sense is ConstraintSense.LESS_EQUAL:
-                row = len(ub_rhs)
-                for var, coeff in coefficients.items():
-                    ub_rows_idx.append(row)
-                    ub_cols_idx.append(index[var])
-                    ub_data.append(coeff)
-                ub_rhs.append(rhs)
-            elif constraint.sense is ConstraintSense.GREATER_EQUAL:
-                row = len(ub_rhs)
-                for var, coeff in coefficients.items():
-                    ub_rows_idx.append(row)
-                    ub_cols_idx.append(index[var])
-                    ub_data.append(-coeff)
-                ub_rhs.append(-rhs)
-            else:
-                row = len(eq_rhs)
-                for var, coeff in coefficients.items():
-                    eq_rows_idx.append(row)
-                    eq_cols_idx.append(index[var])
-                    eq_data.append(coeff)
-                eq_rhs.append(rhs)
+        a_ub, b_ub, a_eq, b_eq = self._lower_entries(self._entries)
 
-        a_ub = sparse.csr_matrix(
-            (ub_data, (ub_rows_idx, ub_cols_idx)), shape=(len(ub_rhs), n)
-        )
-        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
-        a_eq = sparse.csr_matrix(
-            (eq_data, (eq_rows_idx, eq_cols_idx)), shape=(len(eq_rhs), n)
-        )
-        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
-
-        return StandardForm(
+        form = StandardForm(
             variables=variables,
             c=c,
             objective_constant=self._objective.constant,
@@ -265,6 +407,154 @@ class Model:
             b_eq=b_eq,
             maximize=maximize,
         )
+        self._form = form
+        self._form_entries = len(self._entries)
+        self.full_lowerings += 1
+        return form
+
+    def _extend_form(self) -> StandardForm:
+        """Lower only the entries appended since the cached form was built."""
+        cached = self._form
+        new_entries = self._entries[self._form_entries :]
+        a_ub_new, b_ub_new, a_eq_new, b_eq_new = self._lower_entries(new_entries)
+        a_ub, b_ub = cached.a_ub, cached.b_ub
+        a_eq, b_eq = cached.a_eq, cached.b_eq
+        if b_ub_new.shape[0]:
+            a_ub = sparse.vstack([a_ub, a_ub_new], format="csr")
+            b_ub = np.concatenate([b_ub, b_ub_new])
+        if b_eq_new.shape[0]:
+            a_eq = sparse.vstack([a_eq, a_eq_new], format="csr")
+            b_eq = np.concatenate([b_eq, b_eq_new])
+        form = StandardForm(
+            variables=cached.variables,
+            c=cached.c,
+            objective_constant=cached.objective_constant,
+            integrality=cached.integrality,
+            lower=cached.lower,
+            upper=cached.upper,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            maximize=cached.maximize,
+        )
+        self._form = form
+        self._form_entries = len(self._entries)
+        self.incremental_extensions += 1
+        return form
+
+    def _lower_entries(self, entries):
+        """Lower a sequence of entries into ``(a_ub, b_ub, a_eq, b_eq)``.
+
+        Rows are numbered in entry order (block rows in their local order), so
+        a block and the equivalent ``add_constraint`` sequence produce the
+        same matrices.  COO triplets carry explicit row ids, so legacy
+        constraints accumulate into Python lists while blocks contribute NumPy
+        slices; the concatenation order of the parts is irrelevant.
+        """
+        n = len(self._variables)
+        index = self._indices
+        ub_parts_r: list[np.ndarray] = []
+        ub_parts_c: list[np.ndarray] = []
+        ub_parts_d: list[np.ndarray] = []
+        eq_parts_r: list[np.ndarray] = []
+        eq_parts_c: list[np.ndarray] = []
+        eq_parts_d: list[np.ndarray] = []
+        ub_rows_idx: list[int] = []
+        ub_cols_idx: list[int] = []
+        ub_data: list[float] = []
+        eq_rows_idx: list[int] = []
+        eq_cols_idx: list[int] = []
+        eq_data: list[float] = []
+        # Right-hand sides in row order: legacy scalars accumulate into the
+        # current list part, block slices land as array parts in between.
+        ub_rhs_parts: list = [[]]
+        eq_rhs_parts: list = [[]]
+        ub_count = 0
+        eq_count = 0
+
+        for entry in entries:
+            if isinstance(entry, LinearConstraint):
+                rhs = entry.rhs
+                if entry.sense is ConstraintSense.LESS_EQUAL:
+                    for var, coeff in entry.iter_coefficients():
+                        ub_rows_idx.append(ub_count)
+                        ub_cols_idx.append(index[var])
+                        ub_data.append(coeff)
+                    ub_rhs_parts[-1].append(rhs)
+                    ub_count += 1
+                elif entry.sense is ConstraintSense.GREATER_EQUAL:
+                    for var, coeff in entry.iter_coefficients():
+                        ub_rows_idx.append(ub_count)
+                        ub_cols_idx.append(index[var])
+                        ub_data.append(-coeff)
+                    ub_rhs_parts[-1].append(-rhs)
+                    ub_count += 1
+                else:
+                    for var, coeff in entry.iter_coefficients():
+                        eq_rows_idx.append(eq_count)
+                        eq_cols_idx.append(index[var])
+                        eq_data.append(coeff)
+                    eq_rhs_parts[-1].append(rhs)
+                    eq_count += 1
+                continue
+
+            senses = entry.senses
+            is_eq_row = senses == SENSE_EQ
+            ub_locals = np.flatnonzero(~is_eq_row)
+            eq_locals = np.flatnonzero(is_eq_row)
+            if ub_locals.size:
+                # >= rows are negated into <= form, exactly like the legacy path.
+                row_sign = np.where(senses == SENSE_GE, -1.0, 1.0)
+                ub_map = np.empty(entry.num_rows, dtype=np.int64)
+                ub_map[ub_locals] = ub_count + np.arange(ub_locals.size)
+                mask = ~is_eq_row[entry.rows]
+                masked_rows = entry.rows[mask]
+                ub_parts_r.append(ub_map[masked_rows])
+                ub_parts_c.append(entry.cols[mask])
+                ub_parts_d.append(entry.coeffs[mask] * row_sign[masked_rows])
+                ub_rhs_parts.append(entry.rhs[ub_locals] * row_sign[ub_locals])
+                ub_rhs_parts.append([])
+                ub_count += ub_locals.size
+            if eq_locals.size:
+                eq_map = np.empty(entry.num_rows, dtype=np.int64)
+                eq_map[eq_locals] = eq_count + np.arange(eq_locals.size)
+                mask = is_eq_row[entry.rows]
+                eq_parts_r.append(eq_map[entry.rows[mask]])
+                eq_parts_c.append(entry.cols[mask])
+                eq_parts_d.append(entry.coeffs[mask])
+                eq_rhs_parts.append(entry.rhs[eq_locals])
+                eq_rhs_parts.append([])
+                eq_count += eq_locals.size
+
+        if ub_rows_idx:
+            ub_parts_r.append(np.asarray(ub_rows_idx, dtype=np.int64))
+            ub_parts_c.append(np.asarray(ub_cols_idx, dtype=np.int64))
+            ub_parts_d.append(np.asarray(ub_data, dtype=np.float64))
+        if eq_rows_idx:
+            eq_parts_r.append(np.asarray(eq_rows_idx, dtype=np.int64))
+            eq_parts_c.append(np.asarray(eq_cols_idx, dtype=np.int64))
+            eq_parts_d.append(np.asarray(eq_data, dtype=np.float64))
+
+        def assemble(parts_r, parts_c, parts_d, count):
+            if parts_r:
+                rows = np.concatenate(parts_r)
+                cols = np.concatenate(parts_c)
+                data = np.concatenate(parts_d)
+            else:
+                rows = cols = np.zeros(0, dtype=np.int64)
+                data = np.zeros(0)
+            return sparse.csr_matrix((data, (rows, cols)), shape=(count, n))
+
+        def assemble_rhs(parts):
+            arrays = [np.asarray(part, dtype=np.float64) for part in parts if len(part)]
+            if not arrays:
+                return np.zeros(0)
+            return np.concatenate(arrays)
+
+        a_ub = assemble(ub_parts_r, ub_parts_c, ub_parts_d, ub_count)
+        a_eq = assemble(eq_parts_r, eq_parts_c, eq_parts_d, eq_count)
+        return a_ub, assemble_rhs(ub_rhs_parts), a_eq, assemble_rhs(eq_rhs_parts)
 
     # -- diagnostics -------------------------------------------------------------
 

@@ -12,11 +12,14 @@ Two exact backends are provided:
     independent cross-check of the HiGHS results and as the fallback when a
     SciPy build lacks ``milp``.
 
-``get_solver("auto")`` picks ``scipy`` when available, otherwise
-``branch_and_bound``.
+``get_solver("auto")`` first honours the ``REPRO_MILP_BACKEND`` environment
+variable (any registered backend name), then picks ``scipy`` when available,
+otherwise ``branch_and_bound``.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.exceptions import SolverError
 from repro.milp.solvers.base import SolverBackend
@@ -39,11 +42,32 @@ def available_solvers() -> list[str]:
     return names
 
 
+#: Environment variable consulted by ``get_solver("auto")``; lets CI and
+#: benchmark runs force the fallback backend without touching call sites.
+BACKEND_ENV_VAR = "REPRO_MILP_BACKEND"
+
+
 def get_solver(name: str = "auto") -> SolverBackend:
-    """Instantiate a solver backend by name (``"auto"`` picks the best)."""
+    """Instantiate a solver backend by name (``"auto"`` picks the best).
+
+    ``"auto"`` resolves, in order: the ``REPRO_MILP_BACKEND`` environment
+    variable (when set and non-empty; an unknown value raises
+    :class:`~repro.exceptions.SolverError` rather than being silently
+    ignored), then ``"scipy"`` when SciPy exposes ``milp``, then the
+    pure-Python ``"branch_and_bound"`` fallback.
+    """
     key = name.lower()
     if key == "auto":
-        key = "scipy" if scipy_milp_available() else "branch_and_bound"
+        override = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+        if override:
+            if override not in _REGISTRY:
+                raise SolverError(
+                    f"unknown {BACKEND_ENV_VAR} backend {override!r}; "
+                    f"available: {sorted(set(_REGISTRY))}"
+                )
+            key = override
+        else:
+            key = "scipy" if scipy_milp_available() else "branch_and_bound"
     if key not in _REGISTRY:
         raise SolverError(
             f"unknown solver {name!r}; available: {sorted(set(_REGISTRY))}"
@@ -52,6 +76,7 @@ def get_solver(name: str = "auto") -> SolverBackend:
 
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "BranchAndBoundSolver",
     "ScipySolver",
     "SolverBackend",

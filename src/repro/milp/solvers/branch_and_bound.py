@@ -47,8 +47,25 @@ class BranchAndBoundSolver(SolverBackend):
         time_limit: float | None = None,
         node_limit: int = 200_000,
         absolute_gap: float = 1e-6,
+        warm_start_values=None,
+        warm_start_tolerance: float = 1e-6,
+        known_lower_bound: float | None = None,
         **_options,
     ) -> Solution:
+        """Solve ``model``; exact unless a limit interrupts the search.
+
+        ``warm_start_values`` may carry a variable → value mapping (e.g. the
+        incumbent of a previous solve).  It is *checked* against the current
+        constraints before use, so passing a solution that newer rows (no-good
+        cuts) exclude is safe — it is simply discarded.  When it is feasible
+        it seeds the incumbent, letting best-first search prune immediately.
+
+        ``known_lower_bound`` is a proven lower bound on the optimal objective
+        (in :class:`Solution` units, i.e. including the objective constant and
+        the model's sense).  Enumeration loops know one: appending constraints
+        can only increase a minimum, so the previous optimum is a valid bound.
+        The search stops as soon as the incumbent matches it.
+        """
         form = model.to_standard_form()
         n = len(form.variables)
         started = time.perf_counter()
@@ -62,6 +79,12 @@ class BranchAndBoundSolver(SolverBackend):
 
         integral_indices = np.flatnonzero(form.integrality == 1)
         counter = itertools.count()
+
+        internal_lower = -np.inf
+        if known_lower_bound is not None:
+            internal_lower = float(known_lower_bound) - form.objective_constant
+            if form.maximize:
+                internal_lower = -internal_lower
 
         root_relaxation = self._solve_relaxation(form, form.lower, form.upper)
         if root_relaxation is None:
@@ -77,10 +100,17 @@ class BranchAndBoundSolver(SolverBackend):
         ]
         incumbent_value = np.inf
         incumbent_x: np.ndarray | None = None
+        warm_x = self._feasible_warm_start(form, warm_start_values, warm_start_tolerance)
+        if warm_x is not None:
+            incumbent_value = float(form.c @ warm_x)
+            incumbent_x = warm_x
         nodes_explored = 0
         status = SolveStatus.OPTIMAL
 
         while heap:
+            if incumbent_x is not None and incumbent_value <= internal_lower + absolute_gap:
+                # The incumbent matches a proven lower bound: optimal.
+                break
             if time_limit is not None and time.perf_counter() - started > time_limit:
                 status = SolveStatus.TIME_LIMIT
                 break
@@ -158,6 +188,22 @@ class BranchAndBoundSolver(SolverBackend):
         )
 
     # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _feasible_warm_start(form, values, tolerance: float = 1e-6):
+        """Vector for a warm-start mapping if it satisfies ``form``, else ``None``."""
+        if not values:
+            return None
+        x = np.array([float(values.get(var, 0.0)) for var in form.variables])
+        integral = form.integrality == 1
+        x[integral] = np.round(x[integral])
+        if np.any(x < form.lower - tolerance) or np.any(x > form.upper + tolerance):
+            return None
+        if form.a_ub.shape[0] and np.any(form.a_ub @ x > form.b_ub + tolerance):
+            return None
+        if form.a_eq.shape[0] and np.any(np.abs(form.a_eq @ x - form.b_eq) > tolerance):
+            return None
+        return x
 
     @staticmethod
     def _solve_relaxation(form, lower: np.ndarray, upper: np.ndarray):

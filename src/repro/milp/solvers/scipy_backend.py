@@ -40,8 +40,18 @@ class ScipySolver(SolverBackend):
         model,
         time_limit: float | None = None,
         mip_rel_gap: float = 0.0,
+        presolve: bool | None = None,
         **options,
     ) -> Solution:
+        """Solve ``model`` through :func:`scipy.optimize.milp`.
+
+        ``mip_rel_gap``/``presolve``/``time_limit`` map to the HiGHS options
+        of the same names; anything HiGHS-specific beyond those can be passed
+        verbatim via ``options["highs_options"]`` (a dict).  On a
+        ``TIME_LIMIT``/``NODE_LIMIT`` stop the best incumbent found so far is
+        returned (``res.x`` is present), not an empty solution, so callers —
+        and the benchmark rows — still see the best-found objective.
+        """
         try:
             from scipy.optimize import Bounds, LinearConstraint, milp
         except ImportError as exc:  # pragma: no cover - depends on environment
@@ -71,6 +81,8 @@ class ScipySolver(SolverBackend):
         solver_options: dict[str, object] = {"mip_rel_gap": mip_rel_gap}
         if time_limit is not None:
             solver_options["time_limit"] = float(time_limit)
+        if presolve is not None:
+            solver_options["presolve"] = bool(presolve)
         solver_options.update(options.get("highs_options", {}))
 
         started = time.perf_counter()

@@ -1,0 +1,121 @@
+"""MILP backend selection (REPRO_MILP_BACKEND) and backend solve options.
+
+The relational layer has the analogous suite in
+``tests/relational/test_backend_selection.py`` for REPRO_EXECUTOR_BACKEND.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.milp import Model, get_solver, linear_sum
+from repro.milp.solvers import BranchAndBoundSolver, ScipySolver
+
+
+def small_model():
+    model = Model("selection")
+    x = model.binary_var("x")
+    y = model.binary_var("y")
+    z = model.binary_var("z")
+    model.add_constraint(linear_sum([x, y, z]) <= 2, name="cap")
+    model.maximize(3 * x + 2 * y + z)
+    return model, (x, y, z)
+
+
+class TestBackendEnvVar:
+    def test_auto_defaults_to_scipy_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MILP_BACKEND", raising=False)
+        assert isinstance(get_solver("auto"), ScipySolver)
+
+    def test_env_var_forces_branch_and_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MILP_BACKEND", "branch_and_bound")
+        assert isinstance(get_solver("auto"), BranchAndBoundSolver)
+
+    def test_env_var_is_case_insensitive_and_honours_aliases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MILP_BACKEND", "BnB")
+        assert isinstance(get_solver("auto"), BranchAndBoundSolver)
+
+    def test_env_var_does_not_override_explicit_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MILP_BACKEND", "branch_and_bound")
+        assert isinstance(get_solver("scipy"), ScipySolver)
+
+    def test_blank_env_var_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MILP_BACKEND", "   ")
+        assert isinstance(get_solver("auto"), ScipySolver)
+
+    def test_invalid_env_var_raises_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MILP_BACKEND", "cplex")
+        with pytest.raises(SolverError, match="REPRO_MILP_BACKEND"):
+            get_solver("auto")
+
+    def test_model_solve_honours_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MILP_BACKEND", "branch_and_bound")
+        model, _ = small_model()
+        solution = model.solve("auto")
+        assert solution.solver_name == "branch_and_bound"
+        assert solution.objective_value == pytest.approx(5.0)
+
+
+class TestBranchAndBoundWarmStart:
+    def test_feasible_warm_start_seeds_the_incumbent(self):
+        model, (x, y, z) = small_model()
+        optimal = {x: 1.0, y: 1.0, z: 0.0}
+        solution = model.solve("branch_and_bound", warm_start_values=optimal)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(5.0)
+
+    def test_infeasible_warm_start_is_discarded(self):
+        model, (x, y, z) = small_model()
+        # Violates the cardinality cap; the solver must reject it and still
+        # find the true optimum.
+        solution = model.solve(
+            "branch_and_bound", warm_start_values={x: 1.0, y: 1.0, z: 1.0}
+        )
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(5.0)
+
+    def test_known_lower_bound_terminates_at_proof(self):
+        model, _ = small_model()
+        reference = model.solve("branch_and_bound")
+        # A maximisation: the bound is an upper bound in solution units; the
+        # solver converts using the model sense.
+        solution = model.solve(
+            "branch_and_bound", known_lower_bound=reference.objective_value
+        )
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(reference.objective_value)
+
+    def test_time_limit_returns_the_incumbent_not_an_empty_solution(self):
+        from repro.milp import SolveStatus
+
+        model, (x, y, z) = small_model()
+        solution = model.solve(
+            "branch_and_bound",
+            time_limit=0.0,
+            warm_start_values={x: 1.0, y: 1.0, z: 0.0},
+        )
+        # The search was cut off immediately, but the known incumbent must
+        # still come back (mirroring the scipy backend, which returns
+        # ``res.x`` on a TIME_LIMIT stop) so callers see the best-found
+        # objective instead of "no solution".
+        assert solution.status is SolveStatus.TIME_LIMIT
+        assert solution.is_feasible
+        assert solution.objective_value == pytest.approx(5.0)
+
+    def test_warm_start_after_no_good_cut_is_safely_rejected(self):
+        model, (x, y, z) = small_model()
+        first = model.solve("branch_and_bound")
+        assert first.is_optimal
+        # Exclude the incumbent's binary signature, then warm-start with the
+        # now-infeasible previous solution.
+        ones = [v for v in (x, y, z) if first.value(v) > 0.5]
+        zeros = [v for v in (x, y, z) if first.value(v) <= 0.5]
+        model.add_constraint(linear_sum(1 - v for v in ones) + linear_sum(zeros) >= 1)
+        second = model.solve(
+            "branch_and_bound", warm_start_values=dict(first.values)
+        )
+        assert second.is_optimal
+        assert second.objective_value < first.objective_value
+        assert model.full_lowerings == 1
+        assert model.incremental_extensions == 1

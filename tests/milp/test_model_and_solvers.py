@@ -181,7 +181,10 @@ class TestRegistry:
         assert "branch_and_bound" in names
         assert "scipy" in names  # SciPy in this environment exposes milp
 
-    def test_get_solver_auto(self):
+    def test_get_solver_auto(self, monkeypatch):
+        # REPRO_MILP_BACKEND overrides "auto" (covered by
+        # test_milp_backend_selection.py); without it, scipy wins.
+        monkeypatch.delenv("REPRO_MILP_BACKEND", raising=False)
         assert isinstance(get_solver("auto"), ScipySolver)
 
     def test_get_solver_aliases(self):
