@@ -34,16 +34,7 @@ import sys
 from typing import Sequence
 
 from repro._version import __version__
-from repro.core import (
-    CardinalityConstraint,
-    ConstraintSet,
-    Group,
-    NaiveProvenanceSearch,
-    NaiveSearch,
-    RefinementSolver,
-    at_least,
-    at_most,
-)
+from repro.core import CardinalityConstraint, Group, at_least, at_most
 from repro.datasets import load_dataset
 from repro.datasets.registry import DATASET_BUILDERS
 from repro.exceptions import ReproError
@@ -134,75 +125,185 @@ def _command_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_refine(args: argparse.Namespace) -> int:
-    bundle = load_dataset(args.dataset, **_dataset_parameters(args))
-    constraints: list[CardinalityConstraint] = []
-    constraints.extend(parse_constraint(text, "lower") for text in args.at_least or [])
-    constraints.extend(parse_constraint(text, "upper") for text in args.at_most or [])
-    if not constraints:
-        print("error: provide at least one --at-least or --at-most constraint", file=sys.stderr)
-        return 2
-    if args.method in ("naive", "naive+prov"):
-        return _refine_naive(args, bundle, ConstraintSet(constraints))
-    solver = RefinementSolver(
-        bundle.database,
-        bundle.query,
-        ConstraintSet(constraints),
+def _build_request(args: argparse.Namespace):
+    """A wire-form :class:`RefineRequest` from the parsed ``refine`` arguments."""
+    from repro.service.engine import RefineRequest, parse_constraint_specs
+
+    return RefineRequest(
+        dataset=args.dataset,
+        constraints=parse_constraint_specs(args.at_least, args.at_most),
+        dataset_parameters=tuple(_dataset_parameters(args).items()),
         epsilon=args.epsilon,
         distance=args.distance,
         method=args.method,
         backend=args.backend,
         time_limit=args.time_limit,
-        executor_backend=args.executor_backend,
-        executor_db=args.executor_db,
+        jobs=args.jobs,
+        max_candidates=args.max_candidates,
+        num_solutions=args.num_solutions,
+        output_size=args.output_size,
     )
-    result = solver.solve()
-    print(result.summary())
-    if not result.feasible:
-        print("No refinement within the requested maximum deviation exists.")
+
+
+def _one_shot_engine(args: argparse.Namespace):
+    """An engine over a single session honouring the executor flags."""
+    from repro.service.engine import RefinementEngine
+    from repro.service.session import DatasetSession, SessionPool
+
+    pool = SessionPool(capacity=1)
+    pool.adopt(
+        DatasetSession(
+            args.dataset,
+            _dataset_parameters(args),
+            executor_backend=args.executor_backend,
+            executor_db=args.executor_db,
+        )
+    )
+    return RefinementEngine(sessions=pool)
+
+
+def _print_refine_response(response) -> int:
+    """Render a :class:`RefineResponse` in the classic human-readable form."""
+    infeasible_note = "No refinement within the requested maximum deviation exists."
+    timings = response.timings
+    if response.engine == "exhaustive":
+        stats = response.statistics
+        print(
+            f"[{response.method}/{response.distance_code}] {response.status} "
+            f"candidates={stats['candidates_examined']} of {stats['space_size']} "
+            f"setup={timings['setup_seconds']:.3f}s "
+            f"search={timings['search_seconds']:.3f}s "
+            f"jobs={stats['jobs']}"
+        )
+        if not response.feasible:
+            print(infeasible_note)
+            return 1
+        print(
+            f"distance={response.distance_value:.4g} deviation={response.deviation:.4g}"
+        )
+        print("\nrefinement:", response.refinement)
+        print("\nrefined query:")
+        print(response.refined_sql)
+        return 0
+    if response.engine == "erica":
+        print(
+            f"[erica/{response.distance_code}] {response.status} "
+            f"solutions={len(response.refinements)} "
+            f"setup={timings['setup_seconds']:.3f}s "
+            f"solve={timings['solve_seconds']:.3f}s"
+        )
+        if not response.feasible:
+            print(infeasible_note)
+            return 1
+        for index, entry in enumerate(response.refinements, start=1):
+            print(
+                f"\n#{index} distance={entry['distance_value']:.4g} "
+                f"output_size={entry['output_size']}"
+            )
+            print("refinement:", entry["refinement"])
+            print("refined query:")
+            print(entry["refined_sql"])
+        return 0
+    if not response.feasible:
+        print(
+            f"[{response.method}/{response.distance_code}] no refinement within the "
+            "maximum deviation exists"
+        )
+        print(infeasible_note)
         return 1
-    print("\nrefinement:", result.refinement.describe(bundle.query))
+    print(
+        f"[{response.method}/{response.distance_code}] "
+        f"distance={response.distance_value:.4g} "
+        f"deviation={response.deviation:.4g} "
+        f"setup={timings['setup_seconds']:.3f}s solve={timings['solve_seconds']:.3f}s"
+    )
+    print("\nrefinement:", response.refinement)
     print("\nrefined query:")
-    print(result.sql)
+    print(response.refined_sql)
     print("\nconstraint counts in the refined ranking:")
-    for label, count in result.constraint_counts.items():
+    for label, count in response.constraint_counts.items():
         print(f"  {label}: {count}")
-    print("\nmodel statistics:", result.model_statistics)
+    print("\nmodel statistics:", response.statistics)
     return 0
 
 
-def _refine_naive(args: argparse.Namespace, bundle, constraints: ConstraintSet) -> int:
-    """Run one of the exhaustive baselines (optionally sharded across workers)."""
-    search_class = NaiveProvenanceSearch if args.method == "naive+prov" else NaiveSearch
-    search = search_class(
-        bundle.database,
-        bundle.query,
-        constraints,
-        epsilon=args.epsilon,
-        distance=args.distance,
-        timeout=args.time_limit,
-        max_candidates=args.max_candidates,
-        jobs=args.jobs,
+def _command_refine(args: argparse.Namespace) -> int:
+    if not args.at_least and not args.at_most:
+        print("error: provide at least one --at-least or --at-most constraint", file=sys.stderr)
+        return 2
+    request = _build_request(args)
+    response = _one_shot_engine(args).refine(request)
+    if args.json:
+        print(response.to_json())
+        return 0 if response.feasible else 1
+    return _print_refine_response(response)
+
+
+def _parse_warm_spec(text: str) -> tuple[str, dict]:
+    """Parse a ``--warm`` spec: ``dataset[:param=value,...]``.
+
+    Examples: ``students``, ``meps:num_rows=300``, ``tpch:scale_factor=0.05``.
+    """
+    dataset, _, parameter_text = text.partition(":")
+    if dataset not in DATASET_BUILDERS:
+        raise argparse.ArgumentTypeError(
+            f"unknown dataset {dataset!r} in --warm spec {text!r}"
+        )
+    parameters: dict = {}
+    if parameter_text:
+        for part in parameter_text.split(","):
+            name, equals, value = part.partition("=")
+            if not equals:
+                raise argparse.ArgumentTypeError(
+                    f"invalid --warm parameter {part!r}; expected name=value"
+                )
+            name = name.strip()
+            if name == "scale_factor":
+                parameters[name] = float(value)
+            elif name in ("num_rows", "seed"):
+                parameters[name] = int(value)
+            else:
+                raise argparse.ArgumentTypeError(
+                    f"unknown --warm parameter {name!r}; "
+                    "use num_rows, scale_factor or seed"
+                )
+    return dataset, parameters
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.engine import RefinementEngine
+    from repro.service.server import RefinementServer
+    from repro.service.session import SessionPool
+    from repro.service.shadow import ShadowEngine
+
+    pool = SessionPool(
+        capacity=args.sessions,
         executor_backend=args.executor_backend,
-        executor_db=args.executor_db,
+        executor_db_dir=args.executor_db_dir,
     )
-    result = search.search()
-    status = "timeout" if result.timed_out else ("ok" if result.feasible else "infeasible")
-    print(
-        f"[{result.method}/{result.distance_code}] {status} "
-        f"candidates={result.candidates_examined} of {result.space_size} "
-        f"setup={result.setup_seconds:.3f}s search={result.search_seconds:.3f}s "
-        f"jobs={search.jobs}"
+    engine = RefinementEngine(sessions=pool)
+    shadow = None
+    if args.shadow_method is not None:
+        shadow = ShadowEngine(
+            engine,
+            shadow_method=args.shadow_method,
+            sample_rate=args.shadow_sample_rate,
+            seed=args.shadow_seed,
+        )
+    server = RefinementServer(
+        host=args.host, port=args.port, engine=engine, shadow=shadow, verbose=True
     )
-    if not result.feasible:
-        print("No refinement within the requested maximum deviation exists.")
-        return 1
-    print(
-        f"distance={result.distance_value:.4g} deviation={result.deviation:.4g}"
-    )
-    print("\nrefinement:", result.refinement.describe(bundle.query))
-    print("\nrefined query:")
-    print(render_sql(result.refined_query))
+    for spec in args.warm or []:
+        dataset, parameters = _parse_warm_spec(spec)
+        pool.get(dataset, parameters, warm=True)
+        print(f"warmed {dataset} {parameters or ''}".rstrip())
+    print(f"serving on http://{server.host}:{server.port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -240,8 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     refine_parser.add_argument(
         "--method", default="milp+opt",
-        choices=["milp", "milp+opt", "naive", "naive+prov"],
-        help="algorithm variant (MILP solvers or the exhaustive baselines)",
+        choices=["milp", "milp+opt", "naive", "naive+prov", "erica"],
+        help="algorithm variant (MILP solvers, the exhaustive baselines, "
+        "or the Erica-style whole-output baseline)",
     )
     refine_parser.add_argument(
         "--backend", default="auto", help="MILP backend (auto, scipy, branch_and_bound)"
@@ -268,6 +370,55 @@ def build_parser() -> argparse.ArgumentParser:
         "sqlite backend unless --executor-backend/REPRO_EXECUTOR_BACKEND "
         "chooses one explicitly; default: REPRO_EXECUTOR_DB)",
     )
+    refine_parser.add_argument(
+        "--num-solutions", type=int, default=1,
+        help="solutions to enumerate with --method erica",
+    )
+    refine_parser.add_argument(
+        "--output-size", type=int, default=None,
+        help="whole-output size bound for --method erica (default: original size)",
+    )
+    refine_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the result as JSON (the same serialization the serve API returns)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="start the refinement HTTP/JSON service"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8373, help="bind port (0 picks an ephemeral one)"
+    )
+    serve_parser.add_argument(
+        "--sessions", type=int, default=4,
+        help="warm dataset sessions kept alive (LRU beyond this)",
+    )
+    serve_parser.add_argument(
+        "--warm", action="append", metavar="DATASET[:param=value,...]",
+        help="warm a dataset session before serving, e.g. meps:num_rows=300 "
+        "(repeatable)",
+    )
+    serve_parser.add_argument(
+        "--executor-backend", default=None, choices=["memory", "sqlite"],
+        help="query execution backend for every session",
+    )
+    serve_parser.add_argument(
+        "--executor-db-dir", default=None, metavar="DIR",
+        help="directory for per-session persisted sqlite stores",
+    )
+    serve_parser.add_argument(
+        "--shadow-method", default=None,
+        choices=["milp", "milp+opt", "naive", "naive+prov", "erica"],
+        help="mirror a sample of requests to this method and report diffs",
+    )
+    serve_parser.add_argument(
+        "--shadow-sample-rate", type=float, default=0.1,
+        help="fraction of requests mirrored to the shadow method",
+    )
+    serve_parser.add_argument(
+        "--shadow-seed", type=int, default=0, help="shadow sampling seed"
+    )
     return parser
 
 
@@ -281,6 +432,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _command_datasets,
         "inspect": _command_inspect,
         "refine": _command_refine,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

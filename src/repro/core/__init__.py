@@ -35,8 +35,8 @@ from repro.core.distances import (
     get_distance,
 )
 from repro.core.problem import RefinementProblem
-from repro.core.solver import RefinementResult, RefinementSolver
-from repro.core.naive import NaiveProvenanceSearch, NaiveSearch
+from repro.core.solver import PreparedProblem, RefinementResult, RefinementSolver
+from repro.core.naive import MaskIndexData, NaiveProvenanceSearch, NaiveSearch
 from repro.core.erica import EricaBaseline, EricaResult
 from repro.core.reporting import (
     DistanceComparison,
@@ -55,9 +55,11 @@ __all__ = [
     "Group",
     "JaccardDistance",
     "KendallDistance",
+    "MaskIndexData",
     "NaiveProvenanceSearch",
     "NaiveSearch",
     "PredicateDistance",
+    "PreparedProblem",
     "Refinement",
     "RefinementProblem",
     "RefinementResult",

@@ -123,6 +123,8 @@ class EricaBaseline:
         executor_db: str | None = None,
         aggregate_lineage: bool | None = None,
         block_lowering: bool = True,
+        executor: QueryExecutor | None = None,
+        annotated: AnnotatedDatabase | None = None,
     ) -> None:
         if aggregate_lineage and query.distinct:
             raise RefinementError(
@@ -137,9 +139,12 @@ class EricaBaseline:
         self.aggregate_lineage = aggregate_lineage
         self.block_lowering = block_lowering
         self.distance = PredicateDistance()
-        self._executor = QueryExecutor(
+        # A warm dataset session shares its executor and pre-annotated ~Q(D);
+        # one-shot callers build both here.
+        self._executor = executor or QueryExecutor(
             database, backend=executor_backend, db_path=executor_db
         )
+        self._warm_annotated = annotated
 
     def solve(self, num_solutions: int = 1, time_limit: float | None = None) -> EricaResult:
         """Find up to ``num_solutions`` refinements, closest (by DIS_pred) first."""
@@ -148,7 +153,9 @@ class EricaBaseline:
         setup_started = time.perf_counter()
         # Sharing the executor reuses its cached join/sort of ~Q(D) and, on
         # the sqlite backend, pushes the lineage-atom scan into SQL.
-        annotated = annotate(self.query, self.database, executor=self._executor)
+        annotated = self._warm_annotated
+        if annotated is None:
+            annotated = annotate(self.query, self.database, executor=self._executor)
         model, categorical_variables, constant_variables, indicator_variables = (
             self._build(annotated)
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.core import parallel
 from repro.core.constraints import ConstraintSet
@@ -71,6 +72,8 @@ class _BaseExhaustiveSearch:
         jobs: int | None = None,
         executor_backend: str | None = None,
         executor_db: str | None = None,
+        executor: QueryExecutor | None = None,
+        annotated: AnnotatedDatabase | None = None,
     ) -> None:
         self.database = database
         self.query = query
@@ -80,9 +83,13 @@ class _BaseExhaustiveSearch:
         self.timeout = timeout
         self.max_candidates = max_candidates
         self.jobs = parallel.resolve_jobs(jobs)
-        self._executor = QueryExecutor(
+        # A warm dataset session shares its executor (cached join/sort, warm
+        # sqlite store) and pre-annotated ~Q(D) across searches; one-shot
+        # callers keep the build-it-here behaviour.
+        self._executor = executor or QueryExecutor(
             database, backend=executor_backend, db_path=executor_db
         )
+        self._warm_annotated = annotated
         self._space: RefinementSpace | None = None
         self._original_result: RankedResult | None = None
 
@@ -91,12 +98,15 @@ class _BaseExhaustiveSearch:
         setup_started = time.perf_counter()
         self._original_result = self._executor.evaluate(self.query)
         # annotate_result reuses this executor's cached join+sort of ~Q(D);
-        # annotate() would rebuild both on a fresh executor.
-        annotated = annotate_result(
-            self.query,
-            self._executor.evaluate_unfiltered(self.query),
-            scan=self._executor.annotation_scan(self.query),
-        )
+        # annotate() would rebuild both on a fresh executor.  A warm session
+        # passes its cached annotation in instead.
+        annotated = self._warm_annotated
+        if annotated is None:
+            annotated = annotate_result(
+                self.query,
+                self._executor.evaluate_unfiltered(self.query),
+                scan=self._executor.annotation_scan(self.query),
+            )
         space = RefinementSpace(self.query, annotated)
         self._space = space
         self._prepare(annotated)
@@ -246,6 +256,58 @@ class NaiveSearch(_BaseExhaustiveSearch):
         return self._executor.evaluate(refined_query)
 
 
+@dataclass(frozen=True)
+class MaskIndexData:
+    """The immutable, shareable half of the candidate mask index.
+
+    Holds the expensive precomputations over the rank-ordered ``~Q(D)`` —
+    value-sorted position arrays per numerical predicate, per-value boolean
+    masks per categorical predicate, combined DISTINCT-key codes — all of
+    which are read-only NumPy arrays.  A warm
+    :class:`~repro.service.session.DatasetSession` builds this once and hands
+    it to every search over the dataset; each search then wraps it in its own
+    :class:`_CandidateMaskIndex`, which keeps the *mutable* per-sweep caches
+    (threshold windows, part masks, categorical chains) private, so concurrent
+    searches never share mutable state.
+    """
+
+    length: int
+    numeric_index: Mapping[str, tuple]
+    value_masks: Mapping[str, Mapping]
+    distinct_codes: object | None
+
+    @classmethod
+    def build(cls, query: SPJQuery, base: Relation) -> "MaskIndexData | None":
+        if not columnar.vectorization_enabled():
+            return None
+        store = base.column_store()
+        if store is None:
+            return None
+        numeric_index: dict[str, tuple] = {}
+        for predicate in query.numerical_predicates:
+            values = store.numeric(predicate.attribute)
+            if values is None:
+                return None
+            valid = _np.flatnonzero(~_np.isnan(values))
+            order = valid[_np.argsort(values[valid], kind="stable")]
+            numeric_index[predicate.attribute] = (order, values[order])
+        value_masks: dict[str, dict] = {}
+        for predicate in query.categorical_predicates:
+            factorized = store.codes(predicate.attribute)
+            if factorized is None:
+                return None
+            codes, mapping = factorized
+            value_masks[predicate.attribute] = {
+                value: codes == code for value, code in mapping.items()
+            }
+        distinct_codes = None
+        if query.distinct and query.select:
+            distinct_codes = columnar.combined_codes(store, list(query.select))
+            if distinct_codes is None:
+                return None
+        return cls(store.length, numeric_index, value_masks, distinct_codes)
+
+
 class _CandidateMaskIndex:
     """Precomputed per-atom masks over the rank-ordered ``~Q(D)``.
 
@@ -278,13 +340,12 @@ class _CandidateMaskIndex:
     #: masks *and* the int64 positions/values arrays of the numeric index.
     CACHE_BUDGET_BYTES = 64_000_000
 
-    def __init__(
-        self, length, numeric_index, value_masks, distinct_codes, incremental=True
-    ) -> None:
-        self._length = length
-        self._numeric = numeric_index
-        self._value_masks = value_masks
-        self._distinct_codes = distinct_codes
+    def __init__(self, data: MaskIndexData, incremental=True) -> None:
+        self._data = data
+        self._length = data.length
+        self._numeric = data.numeric_index
+        self._value_masks = data.value_masks
+        self._distinct_codes = data.distinct_codes
         self._incremental = bool(incremental)
         #: (attribute, operator) -> {threshold: (start, stop) into the order array}
         self._windows: dict = {}
@@ -305,36 +366,10 @@ class _CandidateMaskIndex:
     def build(
         cls, query: SPJQuery, base: Relation, incremental: bool = True
     ) -> "_CandidateMaskIndex | None":
-        if not columnar.vectorization_enabled():
+        data = MaskIndexData.build(query, base)
+        if data is None:
             return None
-        store = base.column_store()
-        if store is None:
-            return None
-        numeric_index: dict[str, tuple] = {}
-        for predicate in query.numerical_predicates:
-            values = store.numeric(predicate.attribute)
-            if values is None:
-                return None
-            valid = _np.flatnonzero(~_np.isnan(values))
-            order = valid[_np.argsort(values[valid], kind="stable")]
-            numeric_index[predicate.attribute] = (order, values[order])
-        value_masks: dict[str, dict] = {}
-        for predicate in query.categorical_predicates:
-            factorized = store.codes(predicate.attribute)
-            if factorized is None:
-                return None
-            codes, mapping = factorized
-            value_masks[predicate.attribute] = {
-                value: codes == code for value, code in mapping.items()
-            }
-        distinct_codes = None
-        if query.distinct and query.select:
-            distinct_codes = columnar.combined_codes(store, list(query.select))
-            if distinct_codes is None:
-                return None
-        return cls(
-            store.length, numeric_index, value_masks, distinct_codes, incremental
-        )
+        return cls(data, incremental)
 
     def prepare_sweep(self, query: SPJQuery, space) -> None:
         """Batch-resolve every candidate threshold of a refinement sweep.
@@ -586,11 +621,13 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         *args,
         batched_sweeps: bool = True,
         incremental_categorical: bool = True,
+        mask_data: MaskIndexData | None = None,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
         self._batched = bool(batched_sweeps)
         self._incremental = bool(incremental_categorical)
+        self._mask_data = mask_data
         self._annotated: AnnotatedDatabase | None = None
         self._schema = None
         self._base: Relation | None = None
@@ -606,8 +643,14 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         unfiltered = self._executor.evaluate_unfiltered(self.query)
         self._base = unfiltered.relation
         self._schema = unfiltered.relation.schema
-        self._fast = _CandidateMaskIndex.build(
-            self.query, self._base, incremental=self._incremental
+        # The per-sweep caches stay private to this search; only the
+        # immutable MaskIndexData half is shareable (and a warm session
+        # passes its cached copy in).
+        data = self._mask_data
+        if data is None:
+            data = MaskIndexData.build(self.query, self._base)
+        self._fast = (
+            None if data is None else _CandidateMaskIndex(data, self._incremental)
         )
         if self._fast is not None and self._batched and self._space is not None:
             self._fast.prepare_sweep(self.query, self._space)
@@ -766,4 +809,4 @@ class NaiveProvenanceSearch(_BaseExhaustiveSearch):
         return RankedResult(query=refined_query, relation=relation, projected=projected)
 
 
-__all__ = ["NaiveProvenanceSearch", "NaiveResult", "NaiveSearch"]
+__all__ = ["MaskIndexData", "NaiveProvenanceSearch", "NaiveResult", "NaiveSearch"]

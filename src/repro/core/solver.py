@@ -30,6 +30,22 @@ from repro.relational.sqlgen import render_sql
 
 
 @dataclass
+class PreparedProblem:
+    """The reusable outcome of :meth:`RefinementSolver.prepare`.
+
+    Holds the evaluated original result and the built MILP (whose lowered
+    standard form is cached on the model), plus the wall-clock cost of
+    building them.  A warm dataset session caches one per distinct
+    ``(constraints, epsilon, distance, method)`` so a repeated request skips
+    setup entirely and re-solves from the cached standard form.
+    """
+
+    original_result: RankedResult
+    artifacts: BuildArtifacts
+    setup_seconds: float
+
+
+@dataclass
 class RefinementResult:
     """Outcome of one refinement search.
 
@@ -114,6 +130,8 @@ class RefinementSolver:
         executor_backend: str | None = None,
         executor_db: str | None = None,
         solver_options: dict | None = None,
+        executor: QueryExecutor | None = None,
+        annotated: AnnotatedDatabase | None = None,
     ) -> None:
         method = method.lower()
         if method not in ("milp", "milp+opt"):
@@ -130,17 +148,39 @@ class RefinementSolver:
         self.options = (
             BuilderOptions.all() if method == "milp+opt" else BuilderOptions.none()
         )
-        self._executor = QueryExecutor(
+        # A warm dataset session shares its executor and pre-annotated ~Q(D)
+        # across solver instances; one-shot callers build both here.
+        self._executor = executor or QueryExecutor(
             database, backend=executor_backend, db_path=executor_db
         )
+        self._warm_annotated = annotated
 
     # -- pipeline -------------------------------------------------------------------
 
-    def solve(self, raise_on_infeasible: bool = False) -> RefinementResult:
-        """Run setup + solve + extraction and return a :class:`RefinementResult`."""
+    def prepare(self) -> PreparedProblem:
+        """Evaluate the query, annotate ``~Q(D)`` and build the MILP.
+
+        The returned :class:`PreparedProblem` can be passed to :meth:`solve`
+        any number of times (the model's lowered standard form is cached), so
+        a warm session pays for setup once per distinct problem.
+        """
         setup_started = time.perf_counter()
         original_result, artifacts = self._setup()
-        setup_seconds = time.perf_counter() - setup_started
+        return PreparedProblem(
+            original_result=original_result,
+            artifacts=artifacts,
+            setup_seconds=time.perf_counter() - setup_started,
+        )
+
+    def solve(
+        self,
+        raise_on_infeasible: bool = False,
+        prepared: PreparedProblem | None = None,
+    ) -> RefinementResult:
+        """Run setup + solve + extraction and return a :class:`RefinementResult`."""
+        if prepared is None:
+            prepared = self.prepare()
+        original_result, artifacts = prepared.original_result, prepared.artifacts
 
         solution = artifacts.model.solve(
             self.backend, time_limit=self.time_limit, **self.solver_options
@@ -149,9 +189,9 @@ class RefinementSolver:
 
         result = self._extract(original_result, artifacts, solution)
         result.model_statistics["full_lowerings"] = artifacts.model.full_lowerings
-        result.setup_seconds = setup_seconds
+        result.setup_seconds = prepared.setup_seconds
         result.solve_seconds = solve_seconds
-        result.total_seconds = setup_seconds + solve_seconds
+        result.total_seconds = prepared.setup_seconds + solve_seconds
         if raise_on_infeasible and not result.feasible:
             raise NoRefinementError(
                 f"no refinement of {self.query.name!r} deviates from the constraint "
@@ -165,7 +205,9 @@ class RefinementSolver:
         original_result = self._executor.evaluate(self.query)
         # Sharing the executor reuses its cached join/sort of ~Q(D) and, on
         # the sqlite backend, pushes the lineage-atom scan into SQL.
-        annotated = annotate(self.query, self.database, executor=self._executor)
+        annotated = self._warm_annotated
+        if annotated is None:
+            annotated = annotate(self.query, self.database, executor=self._executor)
         annotated = self._maybe_prune(annotated, original_result)
         builder = MILPBuilder(
             query=self.query,
@@ -274,6 +316,7 @@ def solve_refinement(
 # follows the quickstart example.
 __all__ = [
     "PredicateDistance",
+    "PreparedProblem",
     "RefinementResult",
     "RefinementSolver",
     "solve_refinement",

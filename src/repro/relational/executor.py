@@ -28,6 +28,7 @@ the parallel sweep engine — skip the data load entirely.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -45,6 +46,55 @@ except ImportError:  # pragma: no cover
 
 #: Supported execution backends, in documentation order.
 EXECUTOR_BACKENDS = ("memory", "sqlite")
+
+
+class _SQLiteConnectionPool:
+    """Per-thread :class:`SQLiteExecutor` handles behind one executor.
+
+    ``sqlite3`` connections must not be shared across threads, so a threaded
+    caller (the serving layer admits concurrent refine requests) gets one
+    connection per thread, created lazily on first use.  The pool is bounded:
+    threaded HTTP servers spawn short-lived request threads, and without a cap
+    every dead thread would leak its connection.  Eviction closes the oldest
+    connection — safe because :mod:`repro.relational.sqlite_backend` opens
+    with ``check_same_thread=False`` (usage stays per-thread by construction;
+    only ``close`` crosses threads).
+    """
+
+    MAX_CONNECTIONS = 16
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._executors: dict[int, object] = {}
+
+    def get(self):
+        """The calling thread's executor, or ``None`` if it has none yet."""
+        return self._executors.get(threading.get_ident())
+
+    def put(self, executor) -> None:
+        ident = threading.get_ident()
+        evict = []
+        with self._lock:
+            self._executors[ident] = executor
+            while len(self._executors) > self.MAX_CONNECTIONS:
+                oldest = next(iter(self._executors))
+                if oldest == ident:
+                    break
+                evict.append(self._executors.pop(oldest))
+        for stale in evict:
+            stale.close()
+
+    def executors(self) -> list:
+        with self._lock:
+            return list(self._executors.values())
+
+    def clear(self, close: bool = False) -> None:
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        if close:
+            for executor in executors:
+                executor.close()
 
 
 @dataclass(frozen=True)
@@ -161,29 +211,50 @@ class QueryExecutor:
         self.db_path = db_path
         self._join_cache: dict = {}
         self._ordered_cache: dict = {}
-        self._sqlite = None
+        # The shape caches are check-then-build; concurrent refine requests
+        # through one warm session share this executor, so cache construction
+        # is serialized behind a lock (reads of a built entry are then safe
+        # because entries are immutable once stored).
+        self._cache_lock = threading.RLock()
+        self._sqlite_pool = _SQLiteConnectionPool()
 
     # -- process-boundary hygiene --------------------------------------------------
 
     def __getstate__(self) -> dict:
-        """Pickle without the sqlite connection (not picklable, not fork-safe)."""
+        """Pickle without sqlite connections and locks (neither is picklable)."""
         state = {name: value for name, value in self.__dict__.items()}
-        state["_sqlite"] = None
+        state["_sqlite_pool"] = None
+        state["_cache_lock"] = None
         return state
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.RLock()
+        self._sqlite_pool = _SQLiteConnectionPool()
+
     def reset_connections(self) -> None:
-        """Drop the sqlite connection after a fork.
+        """Drop sqlite connections (and re-arm the locks) after a fork.
 
         SQLite connections must not be used across ``fork``; the child lazily
         reopens its own on first use — against ``db_path`` that reopen
         fingerprint-validates the persisted tables and skips the data load.
+        The cache lock is re-created too: the fork may have happened while
+        another thread of the parent held it, and the copy would then be
+        locked forever in the child.
         """
-        self._sqlite = None
+        self._cache_lock = threading.RLock()
+        self._sqlite_pool = _SQLiteConnectionPool()
+
+    def close_connections(self) -> None:
+        """Close every pooled sqlite connection (session teardown)."""
+        self._sqlite_pool.clear(close=True)
 
     @property
     def sqlite_load_count(self) -> int:
         """Relations actually (re)loaded into sqlite by this executor's process."""
-        return 0 if self._sqlite is None else self._sqlite.load_count
+        return sum(
+            executor.load_count for executor in self._sqlite_pool.executors()
+        )
 
     # -- public API --------------------------------------------------------------
 
@@ -223,21 +294,24 @@ class QueryExecutor:
         """
         if self.backend != "sqlite" or not query.where:
             return None
-        self._ensure_sqlite()
-        return self._sqlite.annotation_scan(query)
+        return self._ensure_sqlite().annotation_scan(query)
 
     # -- sqlite pushdown -----------------------------------------------------------
 
     def _ensure_sqlite(self):
         from repro.relational.sqlite_backend import SQLiteExecutor
 
-        if self._sqlite is None:
-            self._sqlite = SQLiteExecutor(
-                self.database, path=self.db_path or ":memory:"
-            )
-        else:
-            self._sqlite.refresh()
-        return self._sqlite
+        sqlite = self._sqlite_pool.get()
+        # Construction and refresh both (re)load tables, and on a persistent
+        # db_path every thread's connection shares one file — serialize the
+        # loads or concurrent cold starts race on DROP/CREATE TABLE.
+        with self._cache_lock:
+            if sqlite is None:
+                sqlite = SQLiteExecutor(self.database, path=self.db_path or ":memory:")
+                self._sqlite_pool.put(sqlite)
+            else:
+                sqlite.refresh()
+        return sqlite
 
     def _evaluate_sqlite(self, query: SPJQuery) -> RankedResult:
         """Push the whole query into sqlite and gather only the result rows."""
@@ -247,13 +321,13 @@ class QueryExecutor:
             joined_schema = joined_schema.join(schema)
         self._validate(query, joined_schema)
 
-        self._ensure_sqlite()
-        coordinates = self._sqlite.pushdown_positions(query)
+        sqlite = self._ensure_sqlite()
+        coordinates = sqlite.pushdown_positions(query)
         relation = self._gather(query, joined_schema, coordinates)
         if (
             query.distinct
             and query.select
-            and not self._sqlite.supports_distinct_pushdown
+            and not sqlite.supports_distinct_pushdown
         ):
             relation = self._deduplicate(relation, query.select)
         projected = relation.project(query.select) if query.select else relation
@@ -312,30 +386,32 @@ class QueryExecutor:
     def _join(self, tables: Sequence[str]) -> Relation:
         if not tables:
             raise QueryError("cannot evaluate a query over an empty table list")
-        relations = [self.database.relation(name) for name in tables]
-        # The entry keeps the input relations alive so that an id() recorded
-        # here can never be reused by a replacement relation (which would make
-        # a stale entry look fresh); a swap replaces the whole entry instead.
-        ids = tuple(id(relation) for relation in relations)
-        cached = self._join_cache.get(tuple(tables))
-        if cached is None or cached[0] != ids:
-            joined = relations[0]
-            for relation in relations[1:]:
-                joined = joined.natural_join(relation)
-            self._join_cache[tuple(tables)] = cached = (ids, relations, joined)
-        return cached[2]
+        with self._cache_lock:
+            relations = [self.database.relation(name) for name in tables]
+            # The entry keeps the input relations alive so that an id() recorded
+            # here can never be reused by a replacement relation (which would make
+            # a stale entry look fresh); a swap replaces the whole entry instead.
+            ids = tuple(id(relation) for relation in relations)
+            cached = self._join_cache.get(tuple(tables))
+            if cached is None or cached[0] != ids:
+                joined = relations[0]
+                for relation in relations[1:]:
+                    joined = joined.natural_join(relation)
+                self._join_cache[tuple(tables)] = cached = (ids, relations, joined)
+            return cached[2]
 
     def _ordered_join(self, query: SPJQuery) -> Relation:
-        joined = self._join(query.tables)
-        self._validate(query, joined.schema)
-        key = (query.tables, query.order_by.attribute, query.order_by.descending)
-        cached = self._ordered_cache.get(key)
-        if cached is None or cached[0] is not joined:
-            ordered = joined.order_by(
-                query.order_by.attribute, descending=query.order_by.descending
-            )
-            self._ordered_cache[key] = cached = (joined, ordered)
-        return cached[1]
+        with self._cache_lock:
+            joined = self._join(query.tables)
+            self._validate(query, joined.schema)
+            key = (query.tables, query.order_by.attribute, query.order_by.descending)
+            cached = self._ordered_cache.get(key)
+            if cached is None or cached[0] is not joined:
+                ordered = joined.order_by(
+                    query.order_by.attribute, descending=query.order_by.descending
+                )
+                self._ordered_cache[key] = cached = (joined, ordered)
+            return cached[1]
 
     @staticmethod
     def _deduplicate(ordered: Relation, select: Sequence[str]) -> Relation:

@@ -85,7 +85,13 @@ class SQLiteExecutor:
 
     def __init__(self, database: Database, path: str = ":memory:") -> None:
         self.path = path
-        self.connection = sqlite3.connect(path, cached_statements=256)
+        # Each SQLiteExecutor is used by exactly one thread (QueryExecutor
+        # hands out one per thread from its connection pool), but pool
+        # eviction and session teardown close connections from *another*
+        # thread — which sqlite3 only permits with check_same_thread=False.
+        self.connection = sqlite3.connect(
+            path, cached_statements=256, check_same_thread=False
+        )
         self._database = database
         self._persistent = path != ":memory:"
         #: Relations actually (re)loaded by this process (0 on a warm open).

@@ -1,0 +1,44 @@
+"""Refinement-as-a-service: the long-lived serving layer over the solvers.
+
+The one-shot CLI pays the full warm-up — dataset build, join + sort,
+provenance annotation, mask indexes, MILP lowering — on every invocation.
+This subpackage keeps that state alive across requests:
+
+* :mod:`repro.service.engine` — :class:`RefinementEngine`, the single facade
+  unifying the four solve paths (``naive``, ``naive+prov``, ``milp``/
+  ``milp+opt``, ``erica``) behind one :class:`RefineRequest` /
+  :class:`RefineResponse` dataclass pair with a stable JSON serialization;
+* :mod:`repro.service.session` — :class:`DatasetSession` (per-dataset warm
+  state: shared executor, cached annotation, mask-index data, prepared MILPs)
+  and :class:`SessionPool` (an LRU over sessions);
+* :mod:`repro.service.coalesce` — :class:`RequestCoalescer` (identical
+  in-flight requests share one computation);
+* :mod:`repro.service.server` — the threaded HTTP/JSON front end behind the
+  ``repro serve`` CLI subcommand;
+* :mod:`repro.service.shadow` — :class:`ShadowEngine`, the legacy/candidate
+  rollout facade with a ``shadow_sample_rate``.
+"""
+
+from repro.service.coalesce import RequestCoalescer
+from repro.service.engine import (
+    ConstraintSpec,
+    RefineRequest,
+    RefineResponse,
+    RefinementEngine,
+)
+from repro.service.server import RefinementServer
+from repro.service.session import DatasetSession, SessionPool
+from repro.service.shadow import ShadowEngine, ShadowReport
+
+__all__ = [
+    "ConstraintSpec",
+    "DatasetSession",
+    "RefineRequest",
+    "RefineResponse",
+    "RefinementEngine",
+    "RefinementServer",
+    "RequestCoalescer",
+    "SessionPool",
+    "ShadowEngine",
+    "ShadowReport",
+]

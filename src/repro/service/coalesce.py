@@ -1,0 +1,79 @@
+"""Request coalescing: identical in-flight requests share one computation.
+
+A serving front end sees bursts of identical refine requests (the same
+dashboard opened by many users, a retrying client).  Solving each copy is
+pure waste — the problem is deterministic — so the coalescer keys every
+computation by its canonical request key and lets late arrivals *join* the
+in-flight leader instead of starting their own solve.  Results are not cached
+past completion: coalescing only collapses concurrency, so a request arriving
+after the leader finished computes afresh (sessions keep the heavy state warm,
+which is the layer that makes the re-compute cheap).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+class _InFlight:
+    """One leader computation plus the waiters that joined it."""
+
+    __slots__ = ("done", "error", "result")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class RequestCoalescer:
+    """Deduplicates concurrent computations by key.
+
+    ``run(key, compute)`` either runs ``compute`` (the *leader* path) or, when
+    another thread is already computing the same key, blocks until the leader
+    finishes and returns its result.  A leader's exception propagates to every
+    waiter (the same exception object — tracebacks point at the leader).
+
+    The counters make coalescing observable (and testable): ``started`` is
+    the number of computations actually run, ``coalesced`` the number of
+    requests that joined an in-flight one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _InFlight] = {}
+        self.started = 0
+        self.coalesced = 0
+
+    def run(self, key: Hashable, compute: Callable[[], T]) -> T:
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+                self.started += 1
+                leader = True
+            else:
+                self.coalesced += 1
+                leader = False
+        if leader:
+            try:
+                entry.result = compute()
+            except BaseException as error:
+                entry.error = error
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                entry.done.set()
+        else:
+            entry.done.wait()
+            if entry.error is not None:
+                raise entry.error
+        return entry.result
+
+
+__all__ = ["RequestCoalescer"]

@@ -1,0 +1,161 @@
+"""The threaded HTTP/JSON front end behind ``repro serve``.
+
+Endpoints:
+
+* ``POST /refine`` — body is a :class:`~repro.service.engine.RefineRequest`
+  in wire form; the response body is the :class:`RefineResponse` dict (the
+  same serialization ``repro refine --json`` prints, plus timings).  Invalid
+  requests get ``400`` with an ``error`` field; infeasible problems are still
+  ``200`` (``feasible: false`` is an answer, not a failure).
+* ``GET /health`` — liveness probe.
+* ``GET /datasets`` — the registered dataset names.
+* ``GET /stats`` — session pool, coalescer and (if enabled) shadow report.
+
+The server is a stock :class:`~http.server.ThreadingHTTPServer`: one thread
+per connection, all of them sharing one engine.  Concurrency safety is the
+layer below's job (locked executor caches, per-thread sqlite connections,
+coalesced duplicate solves) — the handler itself is stateless.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.datasets.registry import DATASET_BUILDERS
+from repro.exceptions import RefinementError
+from repro.service.engine import RefineRequest, RefinementEngine
+from repro.service.shadow import ShadowEngine
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the engine the server was built around."""
+
+    # Set by RefinementServer when the handler class is bound.
+    server_facade: "RefinementServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server_facade.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/health":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/datasets":
+            self._send_json(200, {"datasets": sorted(DATASET_BUILDERS)})
+        elif self.path == "/stats":
+            self._send_json(200, self.server_facade.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/refine":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            request = RefineRequest.from_dict(payload)
+            response = self.server_facade.refine(request)
+        except (RefinementError, ValueError, KeyError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send_json(200, response.to_dict())
+
+
+class RefinementServer:
+    """Owns the engine, the listening socket and the serving thread.
+
+    Usable either blocking (:meth:`serve_forever`, the CLI path) or as a
+    context manager that serves from a background thread (the test path)::
+
+        with RefinementServer(port=0) as server:
+            url = f"http://127.0.0.1:{server.port}/refine"
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8373,
+        engine: RefinementEngine | None = None,
+        shadow: ShadowEngine | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine or (shadow.engine if shadow else RefinementEngine())
+        self.shadow = shadow
+        self.verbose = verbose
+        handler = type("BoundHandler", (_Handler,), {"server_facade": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        # daemon_threads: an in-flight solve must not block process exit.
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        return self._httpd.server_address[1]
+
+    def refine(self, request: RefineRequest):
+        facade = self.shadow if self.shadow is not None else self.engine
+        return facade.refine(request)
+
+    def stats(self) -> dict:
+        stats = {
+            "requests_served": self.engine.requests_served,
+            "coalescer": {
+                "started": self.engine.coalescer.started,
+                "coalesced": self.engine.coalescer.coalesced,
+            },
+            "sessions": self.engine.sessions.describe(),
+        }
+        if self.shadow is not None:
+            stats["shadow"] = self.shadow.report.to_dict()
+        return stats
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def start(self) -> "RefinementServer":
+        """Serve from a daemon thread and return once the socket is live."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.engine.sessions.close()
+
+    def __enter__(self) -> "RefinementServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+__all__ = ["RefinementServer"]

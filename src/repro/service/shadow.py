@@ -1,0 +1,151 @@
+"""Shadow rollout: run a candidate engine next to the one serving traffic.
+
+Migrating traffic between solve paths (say ``naive+prov`` → ``milp+opt``)
+should not rely on test coverage alone.  :class:`ShadowEngine` fronts a
+*primary* engine whose answers are always returned, and mirrors a sampled
+fraction of requests to a *shadow* method, comparing the outcomes on the
+fields that must agree (feasibility, distance, deviation — never timings or
+engine-private statistics).  Disagreements are recorded, not raised: shadow
+traffic must never break the caller.
+
+Sampling is deterministic given a seed, so replays are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field, replace
+
+from repro.service.engine import RefineRequest, RefineResponse, RefinementEngine
+
+#: Distances are compared after rounding: the two engines may legitimately
+#: reach the optimum along different floating-point paths.
+COMPARE_DECIMALS = 6
+
+
+def comparable(response: RefineResponse) -> dict:
+    """The engine-agnostic facts two solve paths must agree on."""
+
+    def _round(value: float | None) -> float | None:
+        return None if value is None else round(value, COMPARE_DECIMALS)
+
+    return {
+        "feasible": response.feasible,
+        "distance_value": _round(response.distance_value),
+        "deviation": _round(response.deviation),
+    }
+
+
+@dataclass
+class ShadowDiff:
+    """One disagreement between primary and shadow on a sampled request."""
+
+    request: dict
+    primary: dict
+    shadow: dict
+
+
+@dataclass
+class ShadowReport:
+    """Running tally of a shadow rollout."""
+
+    shadow_method: str
+    sample_rate: float
+    requests: int = 0
+    sampled: int = 0
+    matched: int = 0
+    shadow_errors: int = 0
+    diffs: list[ShadowDiff] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every sampled request agreed (and none errored)."""
+        return not self.diffs and not self.shadow_errors
+
+    def to_dict(self) -> dict:
+        return {
+            "shadow_method": self.shadow_method,
+            "sample_rate": self.sample_rate,
+            "requests": self.requests,
+            "sampled": self.sampled,
+            "matched": self.matched,
+            "shadow_errors": self.shadow_errors,
+            "diffs": [
+                {
+                    "request": diff.request,
+                    "primary": diff.primary,
+                    "shadow": diff.shadow,
+                }
+                for diff in self.diffs
+            ],
+        }
+
+
+class ShadowEngine:
+    """A :class:`RefinementEngine` facade with sampled dual-running.
+
+    ``refine`` always returns the primary engine's response.  With
+    probability ``sample_rate`` the request is re-run with ``method`` swapped
+    to ``shadow_method`` (rate ``1.0`` shadows everything, ``0.0`` nothing)
+    and the comparable fields are diffed into :attr:`report`.  Shadow
+    failures are counted, never propagated.
+    """
+
+    def __init__(
+        self,
+        engine: RefinementEngine,
+        shadow_method: str,
+        sample_rate: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"shadow sample rate must be within [0, 1], got {sample_rate}"
+            )
+        self.engine = engine
+        self.shadow_method = shadow_method
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.report = ShadowReport(shadow_method=shadow_method, sample_rate=sample_rate)
+
+    def _should_sample(self) -> bool:
+        with self._lock:
+            self.report.requests += 1
+            if self.sample_rate <= 0.0:
+                return False
+            if self.sample_rate >= 1.0:
+                return True
+            return self._rng.random() < self.sample_rate
+
+    def refine(self, request: RefineRequest) -> RefineResponse:
+        response = self.engine.refine(request)
+        if not self._should_sample() or request.method == self.shadow_method:
+            return response
+        shadow_request = replace(request, method=self.shadow_method)
+        try:
+            shadow_response = self.engine.refine(shadow_request)
+        except Exception:
+            with self._lock:
+                self.report.sampled += 1
+                self.report.shadow_errors += 1
+            return response
+        primary_facts = comparable(response)
+        shadow_facts = comparable(shadow_response)
+        with self._lock:
+            self.report.sampled += 1
+            if primary_facts == shadow_facts:
+                self.report.matched += 1
+            else:
+                self.report.diffs.append(
+                    ShadowDiff(
+                        request=request.to_dict(),
+                        primary=primary_facts,
+                        shadow=shadow_facts,
+                    )
+                )
+        return response
+
+
+__all__ = ["COMPARE_DECIMALS", "ShadowDiff", "ShadowEngine", "ShadowReport", "comparable"]

@@ -112,6 +112,6 @@ def test_executor_pickles_without_sqlite_connection(tmp_path):
     executor = QueryExecutor(bundle.database, backend="sqlite", db_path=path)
     first = executor.evaluate(bundle.query)
     clone = pickle.loads(pickle.dumps(executor))
-    assert clone._sqlite is None
+    assert clone._sqlite_pool.get() is None
     assert clone.evaluate(bundle.query).relation.rows == first.relation.rows
     assert clone.sqlite_load_count == 0  # reopened warm from the persisted file

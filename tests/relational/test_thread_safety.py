@@ -1,0 +1,114 @@
+"""Regression tests: one QueryExecutor hammered from many threads.
+
+The serving layer shares a single executor per dataset session across all
+request-handler threads, so the per-query-shape caches must be locked and the
+sqlite backend must hand each thread its own connection.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.relational import QueryExecutor
+
+THREADS = 8
+ROUNDS = 5
+
+
+def build_executor(backend: str, tmp_path):
+    bundle = load_dataset("students")
+    kwargs: dict = {"backend": backend}
+    if backend == "sqlite":
+        kwargs["db_path"] = str(tmp_path / "threads.sqlite")
+    return QueryExecutor(bundle.database, **kwargs), bundle.query
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+class TestExecutorThreadSafety:
+    def test_concurrent_evaluate_matches_serial(self, backend, tmp_path):
+        executor, query = build_executor(backend, tmp_path)
+        serial_rows = executor.evaluate(query).projected.rows
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(THREADS)
+
+        def hammer():
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(ROUNDS):
+                    result = executor.evaluate(query)
+                    assert result.projected.rows == serial_rows
+                    unfiltered = executor.evaluate_unfiltered(query)
+                    assert len(unfiltered.relation) >= len(result)
+            except BaseException as error:  # noqa: BLE001 - collected for the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+
+    def test_concurrent_first_touch(self, backend, tmp_path):
+        """All threads race the very first evaluation (cold caches)."""
+        executor, query = build_executor(backend, tmp_path)
+        barrier = threading.Barrier(THREADS)
+
+        def cold_evaluate():
+            barrier.wait(timeout=30)
+            return executor.evaluate(query).projected.rows
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [pool.submit(cold_evaluate) for _ in range(THREADS)]
+            results = [future.result(timeout=60) for future in futures]
+        assert all(rows == results[0] for rows in results)
+
+
+class TestSQLitePerThreadConnections:
+    def test_each_thread_gets_its_own_connection(self, tmp_path):
+        executor, query = build_executor("sqlite", tmp_path)
+        executor.evaluate(query)
+        barrier = threading.Barrier(4)
+
+        def touch():
+            barrier.wait(timeout=30)
+            executor.evaluate(query)
+            return threading.get_ident()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            idents = {future.result(timeout=60) for future in [
+                pool.submit(touch) for _ in range(4)
+            ]}
+        # One pooled connection per distinct thread that touched the executor
+        # (plus the main thread's).
+        pooled = executor._sqlite_pool._executors
+        assert idents <= set(pooled)
+        assert threading.get_ident() in pooled
+
+    def test_pool_is_bounded(self, tmp_path):
+        from repro.relational.executor import _SQLiteConnectionPool
+
+        executor, query = build_executor("sqlite", tmp_path)
+        cap = _SQLiteConnectionPool.MAX_CONNECTIONS
+
+        def touch():
+            executor.evaluate(query)
+
+        for _ in range(cap + 8):
+            thread = threading.Thread(target=touch)
+            thread.start()
+            thread.join(timeout=60)
+        assert len(executor._sqlite_pool._executors) <= cap
+
+    def test_close_connections_clears_pool(self, tmp_path):
+        executor, query = build_executor("sqlite", tmp_path)
+        executor.evaluate(query)
+        assert executor._sqlite_pool.get() is not None
+        executor.close_connections()
+        assert executor._sqlite_pool.get() is None
+        # The executor reopens lazily and stays correct.
+        assert executor.evaluate(query).projected.rows

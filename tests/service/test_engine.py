@@ -1,0 +1,197 @@
+"""Tests for the engine facade: request/response wire forms and parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import ConstraintSet, NaiveSearch, RefinementSolver, at_least, at_most
+from repro.datasets import load_dataset
+from repro.exceptions import RefinementError
+from repro.service import (
+    ConstraintSpec,
+    RefineRequest,
+    RefineResponse,
+    RefinementEngine,
+)
+
+CONSTRAINTS = (
+    ConstraintSpec("at_least", 3, 6, (("Gender", "F"),)),
+    ConstraintSpec("at_most", 1, 3, (("Income", "High"),)),
+)
+
+
+def students_request(**overrides) -> RefineRequest:
+    defaults = dict(dataset="students", constraints=CONSTRAINTS, epsilon=0.0)
+    defaults.update(overrides)
+    return RefineRequest(**defaults)
+
+
+class TestConstraintSpec:
+    def test_round_trip(self):
+        spec = ConstraintSpec("at_most", 1, 3, (("Income", "High"), ("Gender", "M")))
+        assert ConstraintSpec.from_dict(spec.to_dict()) == spec
+
+    def test_group_is_sorted(self):
+        forward = ConstraintSpec("at_least", 3, 6, (("B", "2"), ("A", "1")))
+        backward = ConstraintSpec("at_least", 3, 6, (("A", "1"), ("B", "2")))
+        assert forward == backward
+
+    def test_constraint_round_trip(self):
+        for builder, kind in ((at_least, "at_least"), (at_most, "at_most")):
+            constraint = builder(3, 6, Gender="F")
+            spec = ConstraintSpec.from_constraint(constraint)
+            assert spec.kind == kind
+            rebuilt = spec.to_constraint()
+            assert rebuilt.bound == constraint.bound
+            assert rebuilt.k == constraint.k
+            assert rebuilt.bound_type is constraint.bound_type
+            assert rebuilt.group.conditions == constraint.group.conditions
+
+    def test_rejects_unknown_kind_and_empty_group(self):
+        with pytest.raises(RefinementError):
+            ConstraintSpec("between", 1, 3, (("A", "1"),))
+        with pytest.raises(RefinementError):
+            ConstraintSpec("at_least", 1, 3, ())
+
+
+class TestRefineRequest:
+    def test_round_trip(self):
+        request = students_request(
+            dataset_parameters=(("num_rows", 120),),
+            distance="jaccard",
+            method="naive",
+            time_limit=5.0,
+            jobs=2,
+            max_candidates=100,
+        )
+        assert RefineRequest.from_dict(request.to_dict()) == request
+        assert RefineRequest.from_dict(json.loads(request.to_json())) == request
+
+    def test_cache_key_ignores_parameter_order(self):
+        one = students_request(dataset_parameters=(("num_rows", 10), ("seed", 3)))
+        two = students_request(dataset_parameters=(("seed", 3), ("num_rows", 10)))
+        assert one.cache_key() == two.cache_key()
+
+    def test_missing_fields(self):
+        with pytest.raises(RefinementError, match="dataset"):
+            RefineRequest.from_dict({"constraints": []})
+        with pytest.raises(RefinementError, match="constraints"):
+            RefineRequest.from_dict({"dataset": "students"})
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(dataset="nope"), "unknown dataset"),
+            (dict(method="simplex"), "unknown method"),
+            (dict(constraints=()), "at least one constraint"),
+            (dict(dataset_parameters=(("size", 3),)), "unknown dataset parameter"),
+            (dict(method="erica", distance="jaccard"), "predicate distance"),
+            (dict(num_solutions=0), "num_solutions"),
+        ],
+    )
+    def test_validation(self, overrides, match):
+        with pytest.raises(RefinementError, match=match):
+            students_request(**overrides).validate()
+
+
+class TestEngineParity:
+    """The facade must answer exactly like direct solver construction."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return RefinementEngine()
+
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return load_dataset("students")
+
+    @pytest.fixture(scope="class")
+    def constraint_set(self):
+        return ConstraintSet(spec.to_constraint() for spec in CONSTRAINTS)
+
+    @pytest.mark.parametrize("method", ["milp", "milp+opt"])
+    def test_milp_matches_direct_solver(self, engine, bundle, constraint_set, method):
+        response = engine.refine(students_request(method=method))
+        direct = RefinementSolver(
+            bundle.database, bundle.query, constraint_set, epsilon=0.0, method=method
+        ).solve()
+        assert response.feasible == direct.feasible
+        assert response.distance_value == direct.distance_value
+        assert response.deviation == direct.deviation
+        assert response.refinement == direct.refinement.describe(bundle.query)
+        assert response.refined_sql == direct.sql
+        assert response.constraint_counts == direct.constraint_counts
+        assert response.statistics == direct.model_statistics
+
+    def test_naive_matches_direct_search(self, engine, bundle, constraint_set):
+        response = engine.refine(students_request(method="naive", jobs=1))
+        direct = NaiveSearch(
+            bundle.database, bundle.query, constraint_set, epsilon=0.0, jobs=1
+        ).search()
+        assert response.feasible == direct.feasible
+        assert response.distance_value == direct.distance_value
+        assert response.statistics["candidates_examined"] == direct.candidates_examined
+        assert response.statistics["space_size"] == direct.space_size
+
+    def test_warm_engine_answers_like_cold(self, engine):
+        request = students_request(method="naive+prov", jobs=1)
+        warm = engine.refine(request)
+        cold = RefinementEngine().refine(request)
+        assert warm.canonical_json() == cold.canonical_json()
+
+    def test_repeat_request_is_byte_identical(self, engine):
+        request = students_request()
+        first = engine.refine(request)
+        second = engine.refine(request)
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_erica_lists_refinements(self, engine):
+        response = engine.refine(
+            students_request(
+                constraints=CONSTRAINTS[:1], method="erica", epsilon=0.5,
+                num_solutions=2,
+            )
+        )
+        assert response.engine == "erica"
+        assert response.feasible
+        assert len(response.refinements) == 2
+        assert response.refinement == response.refinements[0]["refinement"]
+
+    def test_response_round_trip(self, engine):
+        response = engine.refine(students_request())
+        rebuilt = RefineResponse.from_dict(json.loads(response.to_json()))
+        assert rebuilt.canonical_json() == response.canonical_json()
+        assert rebuilt.timings == response.timings
+
+
+class TestCliJson:
+    def test_json_flag_matches_engine_serialization(self, capsys):
+        code = main(
+            [
+                "refine", "--dataset", "students",
+                "--at-least", "3@6:Gender=F", "--at-most", "1@3:Income=High",
+                "--epsilon", "0", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        engine_response = RefinementEngine().refine(students_request())
+        assert (
+            RefineResponse.from_dict(payload).canonical_json()
+            == engine_response.canonical_json()
+        )
+
+    def test_json_flag_infeasible_exit_code(self, capsys):
+        code = main(
+            [
+                "refine", "--dataset", "students",
+                "--at-least", "6@6:Gender=F", "--at-least", "6@6:Gender=M",
+                "--epsilon", "0", "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is False

@@ -1,0 +1,207 @@
+"""End-to-end tests of the HTTP front end.
+
+The headline property: N concurrent server responses are byte-identical to a
+serial one-shot CLI run of the same request, on every registered dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.registry import DATASET_BUILDERS
+from repro.service import (
+    RefineRequest,
+    RefineResponse,
+    RefinementEngine,
+    RefinementServer,
+    SessionPool,
+)
+
+#: Small instances of every registered dataset plus a constraint that names
+#: attributes the dataset actually has (Table 6, constraint (1)).
+DATASET_CASES = {
+    "students": ({}, "3@6:Gender=F"),
+    "astronauts": ({"num_rows": 80}, "5@10:Gender=F"),
+    "law_students": ({"num_rows": 300}, "5@10:Sex=F"),
+    "meps": ({"num_rows": 300}, "5@10:Sex=F"),
+    "tpch": ({"scale_factor": 0.05}, "2@10:MktSegment=AUTOMOBILE"),
+}
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def wire_request(dataset: str, method: str = "milp+opt") -> dict:
+    parameters, constraint = DATASET_CASES[dataset]
+    bound_and_k, _, group_text = constraint.partition(":")
+    bound, _, k = bound_and_k.partition("@")
+    attribute, _, value = group_text.partition("=")
+    payload = {
+        "dataset": dataset,
+        "constraints": [
+            {
+                "kind": "at_least",
+                "bound": int(bound),
+                "k": int(k),
+                "group": {attribute: value},
+            }
+        ],
+        "method": method,
+        "jobs": 1,
+    }
+    if parameters:
+        payload["dataset_parameters"] = parameters
+    return payload
+
+
+def cli_arguments(dataset: str, method: str) -> list[str]:
+    parameters, constraint = DATASET_CASES[dataset]
+    arguments = [
+        "refine", "--dataset", dataset, "--at-least", constraint,
+        "--method", method, "--jobs", "1", "--json",
+    ]
+    if "num_rows" in parameters:
+        arguments += ["--rows", str(parameters["num_rows"])]
+    if "scale_factor" in parameters:
+        arguments += ["--scale-factor", str(parameters["scale_factor"])]
+    return arguments
+
+
+def canonical(payload: dict) -> str:
+    return RefineResponse.from_dict(payload).canonical_json()
+
+
+@pytest.fixture(scope="module")
+def server():
+    engine = RefinementEngine(sessions=SessionPool(capacity=len(DATASET_CASES)))
+    with RefinementServer(port=0, engine=engine) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    return f"http://127.0.0.1:{server.port}"
+
+
+class TestEndpoints:
+    def test_health(self, base_url):
+        assert get_json(base_url + "/health") == {"status": "ok"}
+
+    def test_datasets(self, base_url):
+        assert get_json(base_url + "/datasets") == {
+            "datasets": sorted(DATASET_BUILDERS)
+        }
+
+    def test_unknown_path_is_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(base_url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_invalid_request_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(base_url + "/refine", {"dataset": "students"})
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_unknown_dataset_is_400(self, base_url):
+        payload = wire_request("students")
+        payload["dataset"] = "nope"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(base_url + "/refine", payload)
+        assert excinfo.value.code == 400
+
+    def test_stats(self, base_url):
+        stats = get_json(base_url + "/stats")
+        assert "coalescer" in stats
+        assert "sessions" in stats
+
+
+class TestServerCliParity:
+    """Concurrent server answers == serial one-shot CLI answers, byte for byte."""
+
+    def test_dataset_cases_cover_every_registered_dataset(self):
+        assert set(DATASET_CASES) == set(DATASET_BUILDERS)
+
+    @pytest.mark.parametrize("dataset", sorted(DATASET_CASES))
+    def test_concurrent_refine_matches_one_shot_cli(
+        self, dataset, base_url, capsys
+    ):
+        method = "milp+opt"
+        main(cli_arguments(dataset, method))
+        expected = canonical(json.loads(capsys.readouterr().out))
+
+        payload = wire_request(dataset, method)
+        workers = 4
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(post_json, base_url + "/refine", payload)
+                for _ in range(workers)
+            ]
+            responses = [future.result(timeout=120) for future in futures]
+        assert [canonical(response) for response in responses] == [expected] * workers
+
+    def test_concurrent_mixed_datasets(self, base_url):
+        """Interleaved requests across datasets stay isolated from each other."""
+        datasets = sorted(DATASET_CASES) * 2
+        with ThreadPoolExecutor(max_workers=len(datasets)) as pool:
+            futures = {
+                pool.submit(
+                    post_json, base_url + "/refine", wire_request(dataset)
+                ): dataset
+                for dataset in datasets
+            }
+            by_dataset: dict[str, list[str]] = {}
+            for future, dataset in futures.items():
+                by_dataset.setdefault(dataset, []).append(
+                    canonical(future.result(timeout=180))
+                )
+        for dataset, answers in by_dataset.items():
+            assert len(set(answers)) == 1, f"{dataset} answers diverged"
+            assert json.loads(answers[0])["request"]["dataset"] == dataset
+
+    def test_exhaustive_method_parity(self, base_url, capsys):
+        main(cli_arguments("students", "naive+prov"))
+        expected = canonical(json.loads(capsys.readouterr().out))
+        response = post_json(base_url + "/refine", wire_request("students", "naive+prov"))
+        assert canonical(response) == expected
+
+    def test_server_response_includes_timings(self, base_url):
+        response = post_json(base_url + "/refine", wire_request("students"))
+        assert "total_seconds" in response["timings"]
+
+
+class TestServeProgrammatic:
+    def test_refine_facade_used_by_handler(self):
+        engine = RefinementEngine()
+        with RefinementServer(port=0, engine=engine) as running:
+            payload = wire_request("students")
+            response = post_json(
+                f"http://127.0.0.1:{running.port}/refine", payload
+            )
+            assert response["feasible"] is not None
+            assert engine.requests_served == 1
+        # Shutdown closed the pool's sessions.
+        assert engine.sessions.sessions() == []
+
+    def test_request_object_round_trips_through_wire_form(self):
+        payload = wire_request("students")
+        request = RefineRequest.from_dict(payload)
+        assert RefineRequest.from_dict(request.to_dict()) == request
