@@ -29,7 +29,6 @@ from repro.core import (
     NaiveSearch,
     RefinementSolver,
     at_least,
-    at_most,
 )
 from repro.datasets import load_dataset
 from repro.datasets.registry import DatasetBundle

@@ -12,12 +12,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import ConstraintSet, at_least, at_most
+
 from benchmarks.support import (
     DATASETS,
     DEFAULT_K,
-    ConstraintSet,
-    at_least,
-    at_most,
     bench_scale,
     dataset_bundle,
     print_records,

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets.registry import DatasetBundle
 from repro.datasets import scale_database, tpch_database
+from repro.datasets.registry import DatasetBundle
 from repro.provenance import annotate
 
 from benchmarks.support import (

@@ -22,10 +22,10 @@ from repro.datasets import law_students_database
 from repro.datasets.law_students import law_students_erica_query
 
 from benchmarks.support import (
+    RunRecord,
     default_constraint_set,
     print_records,
     run_milp,
-    RunRecord,
 )
 
 pytestmark = pytest.mark.perf_smoke

@@ -19,7 +19,7 @@ from repro.core import ConstraintSet, EricaBaseline, RefinementSolver, at_least
 from repro.datasets import law_students_database
 from repro.datasets.law_students import law_students_erica_query
 
-from benchmarks.support import bench_scale, print_records, RunRecord
+from benchmarks.support import RunRecord, bench_scale, print_records
 
 _NUM_ROWS = {"reduced": 1_500, "paper": 21_790}
 _TOP_K = {"reduced": 50, "paper": 100}

@@ -21,10 +21,11 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from benchmarks.support import RunRecord, print_records
-from repro.service import RefineRequest, RefineResponse, RefinementEngine
+from repro.service import RefinementEngine, RefineRequest, RefineResponse
 from repro.service.engine import ConstraintSpec
 from repro.service.session import SessionPool
+
+from benchmarks.support import RunRecord, print_records
 
 pytestmark = pytest.mark.perf_smoke
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate README.md's environment-variable table from the registry.
+
+``src/repro/analysis/env_registry.py`` is the single source of truth for
+every ``REPRO_*`` variable; this script rewrites the block between the
+``env-table`` markers in README.md to match it.  ``tests/analysis/
+test_env_docs_sync.py`` fails whenever the two drift.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.env_registry import render_markdown_table  # noqa: E402
+
+BEGIN = "<!-- env-table:begin -->"
+END = "<!-- env-table:end -->"
+
+
+def main() -> int:
+    readme = ROOT / "README.md"
+    text = readme.read_text(encoding="utf-8")
+    if BEGIN not in text or END not in text:
+        print(f"error: {readme} lacks the {BEGIN} / {END} markers", file=sys.stderr)
+        return 1
+    replacement = f"{BEGIN}\n{render_markdown_table()}\n{END}"
+    pattern = re.compile(re.escape(BEGIN) + r".*?" + re.escape(END), re.DOTALL)
+    updated = pattern.sub(lambda _match: replacement, text)
+    if updated == text:
+        print(f"{readme} already up to date")
+    else:
+        readme.write_text(updated, encoding="utf-8")
+        print(f"updated {readme}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

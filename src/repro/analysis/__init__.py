@@ -1,0 +1,43 @@
+"""repro-lint: repo-specific static analysis plus dynamic lock checking.
+
+The concurrent serving stack (PRs 4-6) rests on invariants that no general
+linter knows about: which executor caches may only be touched under which
+lock, which classes must shed sqlite connections and locks before crossing a
+``fork``/pickle boundary, which modules are hot paths that must stay
+columnar, which SQL strings must bind values as parameters, and which wire
+dataclasses must serialize deterministically.  This package checks those
+invariants mechanically:
+
+* :mod:`repro.analysis.rules` — the pluggable AST rules (one class per
+  invariant, each with a stable rule id);
+* :mod:`repro.analysis.registry` — the machine-readable registries the rules
+  are configured from (guarded attribute -> lock map, fork-pickle exemption
+  list, hot/SQL module lists, wire classes);
+* :mod:`repro.analysis.env_registry` — the single source of truth for every
+  ``REPRO_*`` environment variable (the README table is generated from it);
+* :mod:`repro.analysis.engine` — file collection, suppression-comment
+  handling and reporting behind ``repro lint`` / ``python -m repro.analysis``;
+* :mod:`repro.analysis.debug_locks` — the ``REPRO_DEBUG_LOCKS=1`` dynamic
+  side: checking proxies that assert the owning lock is held on every access
+  to a registered guarded structure.
+
+Diagnostics are suppressed per line with a trailing comment of the form
+``repro-lint: disable=RULE -- reason``; a suppression without a reason, or
+one that no longer suppresses anything, is itself an error.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig, default_config
+from repro.analysis.diagnostics import Diagnostic, Severity, Suppression
+from repro.analysis.engine import LintReport, run_lint
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+    "Severity",
+    "Suppression",
+    "default_config",
+    "run_lint",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — same front end as ``repro lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Lint configuration: the knobs every rule reads.
+
+``default_config()`` wires the registries in :mod:`repro.analysis.registry`
+and :mod:`repro.analysis.env_registry` together; the analyzer's own test
+suite builds custom configs pointing the same rules at fixture files instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import env_registry, registry
+from repro.analysis.registry import GuardSpec
+
+
+@dataclass
+class LintConfig:
+    """Everything rule behaviour can be parameterized on."""
+
+    lock_guards: dict[str, GuardSpec] = field(default_factory=dict)
+    fork_pickle_exempt: dict[str, str] = field(default_factory=dict)
+    hot_modules: tuple[str, ...] = ()
+    sql_modules: tuple[str, ...] = ()
+    sql_identifier_helpers: tuple[str, ...] = ()
+    sql_value_helpers: tuple[str, ...] = ()
+    sql_value_attributes: tuple[str, ...] = ()
+    wire_modules: tuple[str, ...] = ()
+    wire_classes: tuple[str, ...] = ()
+    wire_forbidden_names: tuple[str, ...] = ()
+    env_var_prefix: str = "REPRO_"
+    env_var_names: frozenset[str] = frozenset()
+
+    def applies_to(self, path: str, suffixes: tuple[str, ...]) -> bool:
+        """Whether ``path`` matches one of the registered module suffixes."""
+        normalized = path.replace("\\", "/")
+        return any(normalized.endswith(suffix) for suffix in suffixes)
+
+
+def default_config() -> LintConfig:
+    """The configuration for this repository's source tree."""
+    return LintConfig(
+        lock_guards=dict(registry.LOCK_GUARDS),
+        fork_pickle_exempt=dict(registry.FORK_PICKLE_EXEMPT),
+        hot_modules=registry.HOT_MODULES,
+        sql_modules=registry.SQL_MODULES,
+        sql_identifier_helpers=registry.SQL_IDENTIFIER_HELPERS,
+        sql_value_helpers=registry.SQL_VALUE_HELPERS,
+        sql_value_attributes=registry.SQL_VALUE_ATTRIBUTES,
+        wire_modules=registry.WIRE_MODULES,
+        wire_classes=registry.WIRE_CLASSES,
+        wire_forbidden_names=registry.WIRE_FORBIDDEN_NAMES,
+        env_var_names=env_registry.registered_names(),
+    )
+
+
+__all__ = ["LintConfig", "default_config"]

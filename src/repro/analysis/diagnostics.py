@@ -1,0 +1,98 @@
+"""Diagnostics and suppression comments for repro-lint.
+
+A :class:`Diagnostic` pins one rule violation to a ``file:line`` (and, when
+the AST provides one, a column).  Suppressions are trailing comments of the
+form ``repro-lint: disable=lock-guard -- teardown, no readers left``.
+
+The reason after ``--`` is mandatory: a suppression is a recorded decision,
+not an off switch.  A standalone suppression comment (a line holding nothing
+else) covers the *next* line, so multi-line statements can be suppressed
+without trailing comments inside parentheses.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a diagnostic affects the exit code (errors fail the run)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a precise location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    column: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity.value}[{self.rule_id}]: {self.message}"
+        )
+
+
+#: A hash sign, then ``repro-lint: disable=rule-a,rule-b -- reason`` (reason
+#: optional in the grammar so reasonless suppressions are reported, not
+#: silently ignored).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\-\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    path: str
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    standalone: bool
+    #: Rules this suppression actually silenced (filled by the engine).
+    used_for: set = field(default_factory=set)
+
+    @property
+    def covered_lines(self) -> tuple[int, ...]:
+        """A trailing comment covers its own line; a standalone one the next."""
+        return (self.line, self.line + 1) if self.standalone else (self.line,)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.rule_ids and line in self.covered_lines
+
+
+def parse_suppressions(path: str, source: str) -> list[Suppression]:
+    """All suppression comments in ``source``, in line order."""
+    suppressions = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        before = text[: match.start()].strip()
+        suppressions.append(
+            Suppression(
+                path=path,
+                line=lineno,
+                rule_ids=rules,
+                reason=(match.group("reason") or "").strip(),
+                standalone=not before,
+            )
+        )
+    return suppressions
+
+
+__all__ = ["Diagnostic", "Severity", "Suppression", "parse_suppressions"]

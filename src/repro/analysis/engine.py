@@ -1,0 +1,286 @@
+"""The repro-lint driver: collect files, run rules, apply suppressions.
+
+``run_lint`` is the library entry point (the CLI and the test suite both call
+it); ``main`` is the argparse front end behind both ``repro lint`` and
+``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig, default_config
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    Suppression,
+    parse_suppressions,
+)
+from repro.analysis.rules import ALL_RULES, ModuleSource, Rule
+
+#: Engine-level diagnostics (not tied to one Rule class).
+PARSE_ERROR = "parse-error"
+BAD_SUPPRESSION = "bad-suppression"
+UNKNOWN_SUPPRESSION = "unknown-suppression"
+UNUSED_SUPPRESSION = "unused-suppression"
+
+ENGINE_RULE_IDS: dict[str, str] = {
+    PARSE_ERROR: "file does not parse as Python",
+    BAD_SUPPRESSION: "suppression comment without a reason after '--'",
+    UNKNOWN_SUPPRESSION: "suppression names a rule id that does not exist",
+    UNUSED_SUPPRESSION: "suppression that silences nothing (stale)",
+}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    files: int = 0
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        lines = [diag.render() for diag in self.diagnostics]
+        if show_suppressed and self.suppressed:
+            lines.append("suppressed:")
+            lines.extend(f"  {diag.render()}" for diag in self.suppressed)
+        lines.append(
+            f"{len(self.errors)} error(s), "
+            f"{len(self.diagnostics) - len(self.errors)} warning(s), "
+            f"{len(self.suppressed)} suppressed "
+            f"({len(self.suppressions)} suppression comment(s)) "
+            f"across {self.files} file(s)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        def as_dict(diag: Diagnostic) -> dict:
+            return {
+                "rule": diag.rule_id,
+                "severity": diag.severity.value,
+                "path": diag.path,
+                "line": diag.line,
+                "column": diag.column,
+                "message": diag.message,
+            }
+
+        return json.dumps(
+            {
+                "files": self.files,
+                "diagnostics": [as_dict(d) for d in self.diagnostics],
+                "suppressed": [as_dict(d) for d in self.suppressed],
+                "suppression_comments": len(self.suppressions),
+                "errors": len(self.errors),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def collect_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            collected.append(path)
+    seen: set[Path] = set()
+    unique = []
+    for path in collected:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _check_file(
+    path: Path, rules: Sequence[Rule], config: LintConfig
+) -> tuple[list[Diagnostic], list[Diagnostic], list[Suppression]]:
+    source = path.read_text(encoding="utf-8")
+    display = str(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        diag = Diagnostic(
+            rule_id=PARSE_ERROR,
+            severity=Severity.ERROR,
+            path=display,
+            line=exc.lineno or 1,
+            column=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+        return [diag], [], []
+
+    module = ModuleSource(path=display, source=source, tree=tree)
+    suppressions = parse_suppressions(display, source)
+    known_ids = {rule.rule_id for rule in rules} | set(ENGINE_RULE_IDS)
+
+    raw: list[Diagnostic] = []
+    for rule in rules:
+        raw.extend(rule.check(module, config))
+
+    active: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
+    for diag in raw:
+        hit = next(
+            (s for s in suppressions if s.covers(diag.rule_id, diag.line)), None
+        )
+        if hit is not None:
+            hit.used_for.add(diag.rule_id)
+            suppressed.append(diag)
+        else:
+            active.append(diag)
+
+    # Suppression hygiene: a suppression is a recorded decision, so it must
+    # carry a reason, name real rules, and actually silence something.
+    for s in suppressions:
+        if not s.reason:
+            active.append(
+                Diagnostic(
+                    rule_id=BAD_SUPPRESSION,
+                    severity=Severity.ERROR,
+                    path=display,
+                    line=s.line,
+                    message="suppression has no reason; write "
+                    "'# repro-lint: disable=<rule> -- <why this is safe>'",
+                )
+            )
+        for rule_id in s.rule_ids:
+            if rule_id not in known_ids:
+                active.append(
+                    Diagnostic(
+                        rule_id=UNKNOWN_SUPPRESSION,
+                        severity=Severity.ERROR,
+                        path=display,
+                        line=s.line,
+                        message=f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+        if s.reason and not s.used_for and all(r in known_ids for r in s.rule_ids):
+            active.append(
+                Diagnostic(
+                    rule_id=UNUSED_SUPPRESSION,
+                    severity=Severity.ERROR,
+                    path=display,
+                    line=s.line,
+                    message="suppression silences nothing; remove it",
+                )
+            )
+    return active, suppressed, suppressions
+
+
+def run_lint(
+    paths: Iterable[str],
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) and return the full report."""
+    if config is None:
+        config = default_config()
+    if rules is None:
+        rules = [rule_cls() for rule_cls in ALL_RULES]
+    report = LintReport()
+
+    def sort_key(diag: Diagnostic) -> tuple:
+        return (diag.path, diag.line, diag.column, diag.rule_id)
+
+    for path in collect_files(paths):
+        report.files += 1
+        active, suppressed, suppressions = _check_file(path, rules, config)
+        report.diagnostics.extend(active)
+        report.suppressed.extend(suppressed)
+        report.suppressions.extend(suppressions)
+    report.diagnostics.sort(key=sort_key)
+    report.suppressed.sort(key=sort_key)
+    return report
+
+
+def list_rules() -> str:
+    """Human-readable catalogue of every rule id (for ``--list-rules``)."""
+    lines = []
+    for rule_cls in ALL_RULES:
+        lines.append(f"{rule_cls.rule_id}: {rule_cls.description}")
+        lines.append(f"    invariant: {rule_cls.invariant}")
+    for rule_id, description in ENGINE_RULE_IDS.items():
+        lines.append(f"{rule_id}: {description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checker for the repro engine "
+        "(lock discipline, pickle hygiene, SQL parameterization, hot-path "
+        "shape, wire stability, env-var registry).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its invariant and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print diagnostics silenced by suppression comments",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    existing = [p for p in args.paths if Path(p).exists()]
+    if not existing:
+        print(f"repro lint: no such path(s): {', '.join(args.paths)}", file=sys.stderr)
+        return 2
+
+    report = run_lint(existing)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
+__all__ = [
+    "BAD_SUPPRESSION",
+    "ENGINE_RULE_IDS",
+    "LintReport",
+    "PARSE_ERROR",
+    "UNKNOWN_SUPPRESSION",
+    "UNUSED_SUPPRESSION",
+    "collect_files",
+    "list_rules",
+    "main",
+    "run_lint",
+]

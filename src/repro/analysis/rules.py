@@ -1,0 +1,708 @@
+"""The repro-lint rule set: one class per repo-specific invariant.
+
+Each rule carries a stable ``rule_id`` (the name suppression comments and CI
+output use), an error severity, and a ``check`` that walks one parsed module
+and yields :class:`~repro.analysis.diagnostics.Diagnostic`\\ s.  Rules read
+everything repository-specific from the :class:`~repro.analysis.config
+.LintConfig` they are given, so the analyzer's own tests can point them at
+fixture files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import GuardSpec
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file moving through the rule pipeline."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+
+class Rule:
+    """Base class: subclasses set the id/description and implement check()."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    invariant: str = ""
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, module: ModuleSource, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``os.environ.get`` -> "os.environ.get"; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_self_attribute(node: ast.AST, attribute: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr == attribute
+    )
+
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class LockGuardRule(Rule):
+    """Guarded attributes may only be touched under their registered lock.
+
+    The registry (``analysis/registry.py: LOCK_GUARDS``) maps each class's
+    shared mutable structures to the lock that owns them; any ``self.<attr>``
+    read or write outside a ``with self.<lock>:`` block is an error.
+    ``__init__``/``__getstate__``/``__setstate__`` and ``*_locked`` helper
+    methods are exempt (no concurrent reader can hold the object yet,
+    pickling is single-threaded, or the caller holds the lock by contract).
+    """
+
+    rule_id = "lock-guard"
+    description = "registered shared state accessed outside its owning lock"
+    invariant = (
+        "every read/write of a registered guarded attribute happens inside "
+        "'with self.<lock>' (or an exempt construction/pickling method)"
+    )
+
+    EXEMPT_METHODS = frozenset(
+        {"__init__", "__getstate__", "__setstate__", "__reduce__", "__del__"}
+    )
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        for classdef in ast.walk(module.tree):
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            spec = config.lock_guards.get(classdef.name)
+            if spec is None:
+                continue
+            for method in classdef.body:
+                if not isinstance(method, _FUNCTION_NODES):
+                    continue
+                if method.name in self.EXEMPT_METHODS or method.name.endswith(
+                    "_locked"
+                ):
+                    continue
+                yield from self._scan(module, classdef.name, spec, method, held=False)
+
+    def _scan(
+        self,
+        module: ModuleSource,
+        class_name: str,
+        spec: GuardSpec,
+        node: ast.AST,
+        held: bool,
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            child_held = held
+            if isinstance(child, ast.With):
+                if any(
+                    _is_self_attribute(item.context_expr, spec.lock)
+                    for item in child.items
+                ):
+                    child_held = True
+            elif isinstance(child, _FUNCTION_NODES + (ast.Lambda,)):
+                # A nested function may run on another thread or after the
+                # lock was released; treat its body as unguarded.
+                child_held = False
+            elif isinstance(child, ast.Attribute) and not held:
+                for attribute in spec.attributes:
+                    if _is_self_attribute(child, attribute):
+                        yield self.diagnostic(
+                            module,
+                            child,
+                            f"{class_name}.{attribute} accessed outside "
+                            f"'with self.{spec.lock}' ({spec.note})",
+                        )
+            yield from self._scan(module, class_name, spec, child, child_held)
+
+
+class ForkPickleRule(Rule):
+    """Classes owning locks/connections/pools must manage their pickling.
+
+    Any class that assigns a ``threading`` lock/event, an ``sqlite3``
+    connection or a ``multiprocessing`` pool/context to ``self`` must define
+    both ``__getstate__`` and ``__setstate__`` — and ``__getstate__`` must
+    visibly drop each unpicklable field — unless the class is on the
+    registry's exemption list with a written reason.
+    """
+
+    rule_id = "fork-pickle-hygiene"
+    description = "unpicklable resource owner without __getstate__/__setstate__"
+    invariant = (
+        "no lock, sqlite connection or process pool can cross a pickle/fork "
+        "boundary: owners drop them in __getstate__ or are exempt by registry"
+    )
+
+    UNPICKLABLE_FACTORIES = frozenset(
+        {
+            "threading.Lock",
+            "threading.RLock",
+            "threading.Event",
+            "threading.Condition",
+            "threading.Semaphore",
+            "threading.BoundedSemaphore",
+            "sqlite3.connect",
+            "multiprocessing.Pool",
+            "multiprocessing.get_context",
+            "multiprocessing.Manager",
+        }
+    )
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        for classdef in ast.walk(module.tree):
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            owned = self._unpicklable_attributes(classdef)
+            if not owned:
+                continue
+            if classdef.name in config.fork_pickle_exempt:
+                continue
+            methods = {
+                stmt.name for stmt in classdef.body if isinstance(stmt, _FUNCTION_NODES)
+            }
+            if "__getstate__" not in methods or "__setstate__" not in methods:
+                attributes = ", ".join(sorted(owned))
+                yield self.diagnostic(
+                    module,
+                    classdef,
+                    f"{classdef.name} owns unpicklable state ({attributes}) but "
+                    "does not define both __getstate__ and __setstate__; add "
+                    "them or register an exemption with a reason in "
+                    "analysis/registry.py",
+                )
+                continue
+            getstate = next(
+                stmt
+                for stmt in classdef.body
+                if isinstance(stmt, _FUNCTION_NODES) and stmt.name == "__getstate__"
+            )
+            mentioned = self._mentioned_attributes(getstate)
+            for attribute in sorted(owned):
+                if attribute not in mentioned:
+                    yield self.diagnostic(
+                        module,
+                        getstate,
+                        f"{classdef.name}.__getstate__ never drops the "
+                        f"unpicklable field {attribute!r}",
+                    )
+
+    def _unpicklable_attributes(self, classdef: ast.ClassDef) -> dict[str, str]:
+        owned: dict[str, str] = {}
+        for node in ast.walk(classdef):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            factory = _dotted_name(node.value.func)
+            if factory not in self.UNPICKLABLE_FACTORIES:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and isinstance(
+                    target.value, ast.Name
+                ) and target.value.id == "self":
+                    owned[target.attr] = factory
+        return owned
+
+    @staticmethod
+    def _mentioned_attributes(getstate: ast.AST) -> set[str]:
+        mentioned: set[str] = set()
+        for node in ast.walk(getstate):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                mentioned.add(node.value)
+            elif isinstance(node, ast.Attribute):
+                mentioned.add(node.attr)
+        return mentioned
+
+
+class SqlParameterizationRule(Rule):
+    """SQL strings must bind values via ``?``, never interpolate them.
+
+    In the SQL-emitting modules, interpolating a *value* — a predicate
+    ``constant``/``values`` or anything routed through the literal-quoting
+    helper — into a string (f-string, ``%``, ``+``, ``.format``) is an
+    error.  Identifier interpolation through the quoting helper
+    (``_quote_identifier``) and parameter-free clause skeletons are fine.
+    """
+
+    rule_id = "sql-parameterization"
+    description = "value interpolated into SQL text instead of a '?' parameter"
+    invariant = (
+        "predicate constants and values reach sqlite only as bound "
+        "parameters; only identifiers (via the quoting helper) and "
+        "parameter-free clause skeletons are string-built"
+    )
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.applies_to(module.path, config.sql_modules):
+            return
+        # Module-level pass plus one pass per function, each with its own
+        # tainted-name scope.
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node for node in ast.walk(module.tree) if isinstance(node, _FUNCTION_NODES)
+        )
+        for scope in scopes:
+            tainted = self._tainted_names(scope, config)
+            yield from self._flag_sites(module, scope, tainted, config)
+
+    def _tainted_names(self, scope: ast.AST, config: LintConfig) -> set[str]:
+        tainted: set[str] = set()
+        for _ in range(4):  # small fixpoint: assignments can chain
+            grew = False
+            for node in self._own_nodes(scope):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and target.id not in tainted:
+                        if self._is_tainted(node.value, tainted, config):
+                            tainted.add(target.id)
+                            grew = True
+            if not grew:
+                break
+        return tainted
+
+    def _flag_sites(
+        self,
+        module: ModuleSource,
+        scope: ast.AST,
+        tainted: set[str],
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        for node in self._own_nodes(scope):
+            if isinstance(node, ast.JoinedStr):
+                for value in node.values:
+                    if isinstance(value, ast.FormattedValue) and self._is_tainted(
+                        value.value, tainted, config
+                    ):
+                        yield self.diagnostic(
+                            module,
+                            value,
+                            "value interpolated into an f-string in a SQL "
+                            "module; bind it as a '?' parameter",
+                        )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mod, ast.Add)):
+                for side in (node.left, node.right):
+                    if self._is_tainted(side, tainted, config):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "value spliced into a string expression in a SQL "
+                            "module; bind it as a '?' parameter",
+                        )
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+            ):
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                if any(
+                    self._is_tainted(argument, tainted, config)
+                    for argument in arguments
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "value passed to str.format in a SQL module; bind it "
+                        "as a '?' parameter",
+                    )
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes of ``scope`` excluding nested function bodies.
+
+        Each function is its own taint scope; the module-level pass must not
+        descend into them (and functions must not descend into inner ones).
+        """
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, _FUNCTION_NODES):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    #: Count-shaped builtins: their result is an arity derived from values,
+    #: never a value itself, so they stop taint propagation (an ``IN (?, ?)``
+    #: placeholder list built from ``len(values)`` is parameterized SQL).
+    SANITIZERS = frozenset({"len", "sum", "range", "enumerate"})
+
+    def _is_tainted(self, node: ast.AST, tainted: set[str], config: LintConfig) -> bool:
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            short = name.rsplit(".", 1)[-1] if name else None
+            if short in config.sql_value_helpers:
+                return True
+            if short in self.SANITIZERS:
+                return False
+            children: list[ast.AST] = [node.func, *node.args]
+            children.extend(keyword.value for keyword in node.keywords)
+            return any(
+                self._is_tainted(child, tainted, config) for child in children
+            )
+        if isinstance(node, ast.Attribute):
+            if node.attr in config.sql_value_attributes:
+                return True
+            return self._is_tainted(node.value, tainted, config)
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        return any(
+            self._is_tainted(child, tainted, config)
+            for child in ast.iter_child_nodes(node)
+        )
+
+
+class HotPathRowwiseRule(Rule):
+    """Hot modules must not fall back to row-at-a-time evaluation.
+
+    Modules tagged hot in the registry may not call
+    ``iter_dicts``/``iterrows``/``itertuples`` at all, and may not build
+    per-row dicts inside ``for``/``while`` loops (the pattern every
+    vectorization PR removed).  Intentional reference fallbacks carry a
+    suppression with a reason.
+    """
+
+    rule_id = "hot-path-rowwise"
+    description = "row-wise iteration or per-row dict building in a hot module"
+    invariant = (
+        "hot modules evaluate columns and masks, never per-row dicts; "
+        "row-wise reference paths are explicit, suppressed exceptions"
+    )
+
+    ROWWISE_CALLS = frozenset({"iter_dicts", "iterrows", "itertuples"})
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.applies_to(module.path, config.hot_modules):
+            return
+        yield from self._scan(module, module.tree, in_loop=False)
+
+    def _scan(
+        self, module: ModuleSource, node: ast.AST, in_loop: bool
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                child_in_loop = True
+            elif isinstance(child, _FUNCTION_NODES + (ast.Lambda,)):
+                child_in_loop = False
+            if isinstance(child, ast.Call):
+                if (
+                    isinstance(child.func, ast.Attribute)
+                    and child.func.attr in self.ROWWISE_CALLS
+                ):
+                    yield self.diagnostic(
+                        module,
+                        child,
+                        f"hot module calls {child.func.attr}(); evaluate "
+                        "column-wise instead",
+                    )
+                elif (
+                    in_loop
+                    and isinstance(child.func, ast.Name)
+                    and child.func.id == "dict"
+                    and (child.args or child.keywords)
+                ):
+                    yield self.diagnostic(
+                        module, child, "dict() built inside a loop in a hot module"
+                    )
+            elif in_loop and isinstance(child, ast.Dict) and child.keys:
+                yield self.diagnostic(
+                    module, child, "dict literal built inside a loop in a hot module"
+                )
+            elif in_loop and isinstance(child, ast.DictComp):
+                yield self.diagnostic(
+                    module,
+                    child,
+                    "dict comprehension built inside a loop in a hot module",
+                )
+            yield from self._scan(module, child, child_in_loop)
+
+
+class WireStabilityRule(Rule):
+    """Wire dataclasses stay JSON-serializable and deterministic.
+
+    Fields of the registered wire classes must be annotated with
+    JSON-serializable types (or other wire classes), and ``canonical_dict``
+    must not reference timing- or environment-dependent names — it is the
+    byte-stable identity clients and the coalescer rely on.
+    """
+
+    rule_id = "wire-stability"
+    description = "wire dataclass field or canonical_dict breaks serialization"
+    invariant = (
+        "RefineRequest/RefineResponse/ConstraintSpec fields are "
+        "JSON-serializable annotated types and canonical_dict stays free of "
+        "timing/env-dependent keys"
+    )
+
+    ALLOWED_NAMES = frozenset(
+        {"str", "int", "float", "bool", "object", "dict", "list", "tuple", "None"}
+    )
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.applies_to(module.path, config.wire_modules):
+            return
+        allowed = self.ALLOWED_NAMES | set(config.wire_classes)
+        for classdef in ast.walk(module.tree):
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            if classdef.name not in config.wire_classes:
+                continue
+            for stmt in classdef.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if not self._json_annotation(stmt.annotation, allowed):
+                        yield self.diagnostic(
+                            module,
+                            stmt,
+                            f"field {classdef.name}.{stmt.target.id} is "
+                            "annotated with a non-JSON-serializable type",
+                        )
+            for method in classdef.body:
+                if (
+                    isinstance(method, _FUNCTION_NODES)
+                    and method.name == "canonical_dict"
+                ):
+                    yield from self._check_canonical(module, classdef, method, config)
+
+    def _json_annotation(self, node: ast.AST, allowed: set[str] | frozenset) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in allowed
+        if isinstance(node, ast.Constant):
+            return node.value is None or node.value is Ellipsis or isinstance(
+                node.value, str
+            )
+        if isinstance(node, ast.Subscript):
+            return self._json_annotation(node.value, allowed) and self._json_annotation(
+                node.slice, allowed
+            )
+        if isinstance(node, ast.Tuple):
+            return all(self._json_annotation(item, allowed) for item in node.elts)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._json_annotation(node.left, allowed) and self._json_annotation(
+                node.right, allowed
+            )
+        return False
+
+    def _check_canonical(
+        self,
+        module: ModuleSource,
+        classdef: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(method):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                name = node.value
+            if name in config.wire_forbidden_names:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"{classdef.name}.canonical_dict references {name!r}; the "
+                    "canonical form must stay timing- and "
+                    "environment-independent",
+                )
+
+
+class EnvVarRegistryRule(Rule):
+    """Every environment variable is ``REPRO_``-prefixed and registered.
+
+    ``os.environ[...]``/``os.environ.get``/``os.getenv`` keys must be string
+    literals (or module-level string constants), match the ``REPRO_*``
+    namespace, and appear in ``analysis/env_registry.py`` — the table the
+    README's environment documentation is generated from.
+    """
+
+    rule_id = "env-var-registry"
+    description = "environment variable missing from analysis/env_registry.py"
+    invariant = (
+        "every os.environ/getenv key is a REPRO_* name declared in the "
+        "env registry (which generates the README table)"
+    )
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        constants = self._module_constants(module.tree)
+        for node in ast.walk(module.tree):
+            key_node = None
+            if isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name in ("os.environ.get", "os.getenv") and node.args:
+                    key_node = node.args[0]
+            elif isinstance(node, ast.Subscript):
+                if _dotted_name(node.value) == "os.environ":
+                    key_node = node.slice
+            if key_node is None:
+                continue
+            key = self._resolve(key_node, constants)
+            if key is None:
+                yield self.diagnostic(
+                    module,
+                    key_node,
+                    "environment key must be a string literal or module-level "
+                    "constant so the registry rule can check it",
+                )
+            elif not key.startswith(config.env_var_prefix):
+                yield self.diagnostic(
+                    module,
+                    key_node,
+                    f"environment variable {key!r} is outside the "
+                    f"{config.env_var_prefix}* namespace",
+                )
+            elif key not in config.env_var_names:
+                yield self.diagnostic(
+                    module,
+                    key_node,
+                    f"environment variable {key!r} is not declared in "
+                    "analysis/env_registry.py",
+                )
+
+    @staticmethod
+    def _module_constants(tree: ast.Module) -> dict[str, str]:
+        constants: dict[str, str] = {}
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                constants[stmt.targets[0].id] = stmt.value.value
+        return constants
+
+    @staticmethod
+    def _resolve(node: ast.AST, constants: dict[str, str]) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return constants.get(node.id)
+        return None
+
+
+class NoBareExceptRule(Rule):
+    """No bare ``except:`` and no silently-swallowed ``except Exception``."""
+
+    rule_id = "no-bare-except"
+    description = "bare except or silently swallowed Exception"
+    invariant = (
+        "exception handlers name what they catch and do something with it; "
+        "deliberate isolation points carry a suppression with a reason"
+    )
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    module, node, "bare 'except:' catches SystemExit and "
+                    "KeyboardInterrupt; name the exceptions"
+                )
+                continue
+            caught = _dotted_name(node.type)
+            if caught in ("Exception", "BaseException") and all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"'except {caught}: pass' swallows every error silently; "
+                    "handle, log or narrow it",
+                )
+
+
+class NoMutableDefaultRule(Rule):
+    """No mutable default argument values."""
+
+    rule_id = "no-mutable-default"
+    description = "mutable default argument"
+    invariant = "default argument values are immutable (or None-gated)"
+
+    MUTABLE_CALLS = frozenset({"dict", "list", "set"})
+
+    def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self.MUTABLE_CALLS
+                )
+                if mutable:
+                    yield self.diagnostic(
+                        module,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and build inside",
+                    )
+
+
+#: Every rule, in documentation order.  The engine instantiates from here.
+ALL_RULES: tuple[type[Rule], ...] = (
+    LockGuardRule,
+    ForkPickleRule,
+    SqlParameterizationRule,
+    HotPathRowwiseRule,
+    WireStabilityRule,
+    EnvVarRegistryRule,
+    NoBareExceptRule,
+    NoMutableDefaultRule,
+)
+
+
+__all__ = [
+    "ALL_RULES",
+    "EnvVarRegistryRule",
+    "ForkPickleRule",
+    "HotPathRowwiseRule",
+    "LockGuardRule",
+    "ModuleSource",
+    "NoBareExceptRule",
+    "NoMutableDefaultRule",
+    "Rule",
+    "SqlParameterizationRule",
+    "WireStabilityRule",
+]

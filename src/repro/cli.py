@@ -307,6 +307,20 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    # Imported lazily: the analyzer is a developer tool, and the hot CLI
+    # paths (refine/serve) should not pay for loading it.
+    from repro.analysis import engine
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return engine.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -419,6 +433,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--shadow-seed", type=int, default=0, help="shadow sampling seed"
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the repo-specific invariants (lock discipline, pickle "
+        "hygiene, SQL parameterization, hot-path shape, wire stability, "
+        "env-var registry)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its invariant and exit",
+    )
+    lint_parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print diagnostics silenced by suppression comments",
+    )
     return parser
 
 
@@ -433,6 +470,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "inspect": _command_inspect,
         "refine": _command_refine,
         "serve": _command_serve,
+        "lint": _command_lint,
     }
     try:
         return handlers[args.command](args)

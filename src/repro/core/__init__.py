@@ -26,7 +26,6 @@ from repro.core.constraints import (
     at_least,
     at_most,
 )
-from repro.core.refinement import Refinement, RefinementSpace
 from repro.core.distances import (
     DistanceMeasure,
     JaccardDistance,
@@ -34,15 +33,16 @@ from repro.core.distances import (
     PredicateDistance,
     get_distance,
 )
-from repro.core.problem import RefinementProblem
-from repro.core.solver import PreparedProblem, RefinementResult, RefinementSolver
-from repro.core.naive import MaskIndexData, NaiveProvenanceSearch, NaiveSearch
 from repro.core.erica import EricaBaseline, EricaResult
+from repro.core.naive import MaskIndexData, NaiveProvenanceSearch, NaiveSearch
+from repro.core.problem import RefinementProblem
+from repro.core.refinement import Refinement, RefinementSpace
 from repro.core.reporting import (
     DistanceComparison,
     compare_distances,
     refinement_report,
 )
+from repro.core.solver import PreparedProblem, RefinementResult, RefinementSolver
 
 __all__ = [
     "BoundType",

@@ -54,7 +54,7 @@ from repro.core.milp_builder import (
 from repro.core.refinement import Refinement
 from repro.exceptions import RefinementError
 from repro.milp.expression import Variable, linear_sum
-from repro.milp.model import Model, SENSE_EQ, SENSE_GE, SENSE_LE
+from repro.milp.model import SENSE_EQ, SENSE_GE, SENSE_LE, Model
 from repro.milp.solution import Solution
 from repro.provenance.lineage import (
     AnnotatedDatabase,

@@ -62,7 +62,7 @@ from repro.core.refinement import Refinement
 from repro.exceptions import RefinementError
 from repro.milp.constraint import ConstraintSense, LinearConstraint
 from repro.milp.expression import LinearExpression, Variable, linear_sum
-from repro.milp.model import Model, SENSE_EQ, SENSE_GE, SENSE_LE
+from repro.milp.model import SENSE_EQ, SENSE_GE, SENSE_LE, Model
 from repro.milp.solution import Solution
 from repro.provenance.lineage import (
     AnnotatedDatabase,

@@ -13,7 +13,7 @@ so the baselines are *expected* to time out there).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core import parallel
@@ -297,6 +297,7 @@ class MaskIndexData:
             if factorized is None:
                 return None
             codes, mapping = factorized
+            # repro-lint: disable=hot-path-rowwise -- per-distinct-value mask table, built once per index, not per row
             value_masks[predicate.attribute] = {
                 value: codes == code for value, code in mapping.items()
             }
@@ -391,6 +392,7 @@ class _CandidateMaskIndex:
                 space.numerical_candidates(key), dtype=float
             )
             total_masks += thresholds.shape[0]
+            # repro-lint: disable=hot-path-rowwise -- per-threshold window table, one vectorized batch per predicate sweep
             self._windows[key] = dict(
                 zip(
                     thresholds.tolist(),

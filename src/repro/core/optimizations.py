@@ -152,7 +152,6 @@ def forced_predecessor_counts(
     if query.distinct:
         return None
     tuples = annotated.tuples
-    size = len(tuples)
     lower_columns: list[np.ndarray] = []
     upper_columns: list[np.ndarray] = []
     categorical_columns: list[np.ndarray] = []

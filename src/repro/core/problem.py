@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.constraints import ConstraintSet
 from repro.core.distances import DistanceMeasure, get_distance

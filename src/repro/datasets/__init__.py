@@ -12,18 +12,18 @@ The running example of the paper (Tables 1 and 2) is reproduced exactly in
 :mod:`repro.datasets.students`.
 """
 
+from repro.datasets.astronauts import astronauts_database, astronauts_query
+from repro.datasets.law_students import law_students_database, law_students_query
+from repro.datasets.meps import meps_database, meps_query
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
 from repro.datasets.students import (
     activities_table,
     scholarship_query,
     students_database,
     students_table,
 )
-from repro.datasets.astronauts import astronauts_database, astronauts_query
-from repro.datasets.law_students import law_students_database, law_students_query
-from repro.datasets.meps import meps_database, meps_query
-from repro.datasets.tpch import tpch_database, tpch_q5
 from repro.datasets.synthesizer import TableSynthesizer, scale_database
-from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.tpch import tpch_database, tpch_q5
 
 __all__ = [
     "DATASET_BUILDERS",

@@ -5,15 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.exceptions import DatasetError
-from repro.relational.database import Database
-from repro.relational.query import SPJQuery
-
 from repro.datasets.astronauts import astronauts_database, astronauts_query
 from repro.datasets.law_students import law_students_database, law_students_query
 from repro.datasets.meps import meps_database, meps_query
 from repro.datasets.students import scholarship_query, students_database
 from repro.datasets.tpch import tpch_database, tpch_q5
+from repro.exceptions import DatasetError
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
 
 
 @dataclass(frozen=True)

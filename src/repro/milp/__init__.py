@@ -24,19 +24,19 @@ Typical usage::
     assert solution.is_optimal
 """
 
+from repro.milp.constraint import ConstraintSense, LinearConstraint
 from repro.milp.expression import (
     LinearExpression,
     Variable,
     VariableKind,
     linear_sum,
 )
-from repro.milp.constraint import ConstraintSense, LinearConstraint
 from repro.milp.model import (
-    Model,
-    ObjectiveSense,
     SENSE_EQ,
     SENSE_GE,
     SENSE_LE,
+    Model,
+    ObjectiveSense,
     StandardForm,
 )
 from repro.milp.solution import Solution, SolveStatus

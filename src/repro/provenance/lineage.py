@@ -10,11 +10,7 @@ from typing import Iterable, Mapping
 from repro.exceptions import QueryError
 from repro.relational.database import Database
 from repro.relational.executor import QueryExecutor, RankedResult
-from repro.relational.predicates import (
-    CategoricalPredicate,
-    NumericalPredicate,
-    Operator,
-)
+from repro.relational.predicates import Operator
 from repro.relational.query import SPJQuery
 
 try:  # pragma: no cover - optional, used only when a column store exists

@@ -14,8 +14,8 @@ coordinates back into Python.  Select a backend per executor
 ``REPRO_EXECUTOR_BACKEND`` environment variable.
 """
 
-from repro.relational.schema import Attribute, AttributeKind, Schema
-from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.executor import EXECUTOR_BACKENDS, QueryExecutor, RankedResult
 from repro.relational.predicates import (
     CategoricalPredicate,
     Conjunction,
@@ -23,8 +23,8 @@ from repro.relational.predicates import (
     Operator,
 )
 from repro.relational.query import OrderBy, SPJQuery
-from repro.relational.database import Database
-from repro.relational.executor import EXECUTOR_BACKENDS, QueryExecutor, RankedResult
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttributeKind, Schema
 from repro.relational.sqlgen import render_sql
 from repro.relational.sqlite_backend import SQLiteExecutor
 

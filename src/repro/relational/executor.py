@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+from repro.analysis.debug_locks import guard_mapping, plain_copy
 from repro.exceptions import QueryError
 from repro.relational.columnar import ColumnStore
 from repro.relational.database import Database
@@ -65,11 +66,18 @@ class _SQLiteConnectionPool:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._executors: dict[int, object] = {}
+        self._executors: dict[int, object] = guard_mapping(
+            {}, self._lock, "_SQLiteConnectionPool._executors"
+        )
 
     def get(self):
-        """The calling thread's executor, or ``None`` if it has none yet."""
-        return self._executors.get(threading.get_ident())
+        """The calling thread's executor, or ``None`` if it has none yet.
+
+        Even this read takes the lock: ``put`` evicts other threads' entries,
+        so the table mutates under concurrent readers.
+        """
+        with self._lock:
+            return self._executors.get(threading.get_ident())
 
     def put(self, executor) -> None:
         ident = threading.get_ident()
@@ -209,13 +217,17 @@ class QueryExecutor:
             )
         self.backend = backend
         self.db_path = db_path
-        self._join_cache: dict = {}
-        self._ordered_cache: dict = {}
         # The shape caches are check-then-build; concurrent refine requests
         # through one warm session share this executor, so cache construction
         # is serialized behind a lock (reads of a built entry are then safe
         # because entries are immutable once stored).
         self._cache_lock = threading.RLock()
+        self._join_cache: dict = guard_mapping(
+            {}, self._cache_lock, "QueryExecutor._join_cache"
+        )
+        self._ordered_cache: dict = guard_mapping(
+            {}, self._cache_lock, "QueryExecutor._ordered_cache"
+        )
         self._sqlite_pool = _SQLiteConnectionPool()
 
     # -- process-boundary hygiene --------------------------------------------------
@@ -229,8 +241,23 @@ class QueryExecutor:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._cache_lock = threading.RLock()
+        self._rearm_caches()
         self._sqlite_pool = _SQLiteConnectionPool()
+
+    def _rearm_caches(self) -> None:
+        """Fresh cache lock, caches re-wrapped (post-fork/unpickle only)."""
+        self._cache_lock = threading.RLock()
+        with self._cache_lock:
+            self._join_cache = guard_mapping(
+                plain_copy(self._join_cache),
+                self._cache_lock,
+                "QueryExecutor._join_cache",
+            )
+            self._ordered_cache = guard_mapping(
+                plain_copy(self._ordered_cache),
+                self._cache_lock,
+                "QueryExecutor._ordered_cache",
+            )
 
     def reset_connections(self) -> None:
         """Drop sqlite connections (and re-arm the locks) after a fork.
@@ -242,7 +269,7 @@ class QueryExecutor:
         another thread of the parent held it, and the copy would then be
         locked forever in the child.
         """
-        self._cache_lock = threading.RLock()
+        self._rearm_caches()
         self._sqlite_pool = _SQLiteConnectionPool()
 
     def close_connections(self) -> None:

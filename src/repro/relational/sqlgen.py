@@ -1,9 +1,15 @@
 """Rendering :class:`SPJQuery` objects as SQL text.
 
-The generated SQL is used by :mod:`repro.relational.sqlite_backend` to
-cross-check the in-memory executor against sqlite, and by the examples to show
-users the refined query in familiar SQL form (as the paper does in its
-examples).
+Two families live here:
+
+* the *display* renderers (``render_predicate``/``render_where``/
+  ``render_sql``): human-facing SQL with literals inlined, used by the CLI,
+  the examples and solver reports — never executed;
+* the *parameterized* renderers (``render_predicate_params``/
+  ``render_where_params``): the same clauses with every value bound as a
+  ``?`` parameter, used by :mod:`repro.relational.sqlite_backend` for
+  execution.  The ``sql-parameterization`` lint rule enforces that executed
+  SQL only ever comes from this family.
 """
 
 from __future__ import annotations
@@ -29,20 +35,59 @@ def _quote_literal(value: object) -> str:
 
 
 def render_predicate(predicate: NumericalPredicate | CategoricalPredicate) -> str:
-    """Render a single predicate as a SQL boolean expression."""
+    """Render a single predicate as a SQL boolean expression (display only)."""
+    column = _quote_identifier(predicate.attribute)
     if isinstance(predicate, NumericalPredicate):
-        return (
-            f"{_quote_identifier(predicate.attribute)} {predicate.operator.value} "
-            f"{predicate.constant:g}"
-        )
+        # repro-lint: disable=sql-parameterization -- display-only rendering; execution goes through render_where_params
+        return f"{column} {predicate.operator.value} {predicate.constant:g}"
     values = sorted(predicate.values, key=str)
-    clauses = [
-        f"{_quote_identifier(predicate.attribute)} = {_quote_literal(value)}"
-        for value in values
-    ]
+    # repro-lint: disable=sql-parameterization -- display-only rendering; execution goes through render_where_params
+    clauses = [f"{column} = {_quote_literal(value)}" for value in values]
     if len(clauses) == 1:
         return clauses[0]
+    # repro-lint: disable=sql-parameterization -- display-only rendering; execution goes through render_where_params
     return "(" + " OR ".join(clauses) + ")"
+
+
+def render_predicate_params(
+    predicate: NumericalPredicate | CategoricalPredicate,
+) -> tuple[str, tuple]:
+    """Render one predicate with every value bound as a ``?`` parameter.
+
+    A ``None`` in a categorical value set compares via ``IS NULL``: SQL
+    ``IN`` lists never match NULL, while row semantics treat ``None`` as an
+    ordinary listed value.
+    """
+    column = _quote_identifier(predicate.attribute)
+    if isinstance(predicate, NumericalPredicate):
+        return f"{column} {predicate.operator.value} ?", (predicate.constant,)
+    values = sorted(predicate.values, key=str)
+    non_null = [value for value in values if value is not None]
+    clauses = []
+    if len(non_null) == 1:
+        clauses.append(f"{column} = ?")
+    elif non_null:
+        placeholders = ", ".join(["?"] * len(non_null))
+        clauses.append(f"{column} IN ({placeholders})")
+    if len(non_null) != len(values):
+        clauses.append(f"{column} IS NULL")
+    if not clauses:
+        return "1 = 0", ()
+    sql = clauses[0] if len(clauses) == 1 else "(" + " OR ".join(clauses) + ")"
+    return sql, tuple(non_null)
+
+
+def render_where_params(where: Conjunction) -> tuple[str, tuple]:
+    """Render a conjunction with bound parameters (empty renders ``1 = 1``)."""
+    if not len(where):
+        return "1 = 1", ()
+    parts: list[str] = []
+    parameters: list[object] = []
+    for predicate in where:
+        sql, values = render_predicate_params(predicate)
+        parts.append(sql)
+        parameters.extend(values)
+    return " AND ".join(parts), tuple(parameters)
 
 
 def render_where(where: Conjunction) -> str:

@@ -43,7 +43,7 @@ from repro.relational.predicates import Conjunction, NumericalPredicate
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import AttributeKind
-from repro.relational.sqlgen import _quote_identifier, render_where
+from repro.relational.sqlgen import _quote_identifier, render_where_params
 
 #: Rows sampled (evenly, plus first and last) into a relation fingerprint.
 _FINGERPRINT_SAMPLE = 1024
@@ -400,7 +400,8 @@ class SQLiteExecutor:
         "keep the better-ranked duplicate" semantics of the in-memory engine.
         """
         cursor = self.connection.cursor()
-        cursor.execute(self._render(query))
+        sql, parameters = self._render(query)
+        cursor.execute(sql, parameters)
         return [tuple(row) for row in cursor.fetchall()]
 
     def execute_sql(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
@@ -409,11 +410,16 @@ class SQLiteExecutor:
         cursor.execute(sql, parameters)
         return [tuple(row) for row in cursor.fetchall()]
 
-    def _render(self, query: SPJQuery) -> str:
+    def _render(self, query: SPJQuery) -> tuple[str, tuple]:
+        """The query as SQL text plus its bound ``?`` parameters.
+
+        Identifiers are quoted in; predicate values only ever travel in the
+        parameter tuple (enforced by the ``sql-parameterization`` lint rule).
+        """
         from_clause = " NATURAL JOIN ".join(
             _quote_identifier(table) for table in query.tables
         )
-        where_clause = render_where(query.where)
+        where_clause, parameters = render_where_params(query.where)
         order_attribute = _quote_identifier(query.order_by.attribute)
         direction = "DESC" if query.order_by.descending else "ASC"
 
@@ -422,7 +428,8 @@ class SQLiteExecutor:
             best = "MAX" if query.order_by.descending else "MIN"
             return (
                 f"SELECT {columns} FROM {from_clause} WHERE {where_clause} "
-                f"GROUP BY {columns} ORDER BY {best}({order_attribute}) {direction}"
+                f"GROUP BY {columns} ORDER BY {best}({order_attribute}) {direction}",
+                parameters,
             )
 
         columns = (
@@ -432,5 +439,6 @@ class SQLiteExecutor:
         )
         return (
             f"SELECT {columns} FROM {from_clause} WHERE {where_clause} "
-            f"ORDER BY {order_attribute} {direction}"
+            f"ORDER BY {order_attribute} {direction}",
+            parameters,
         )

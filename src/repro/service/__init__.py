@@ -22,9 +22,9 @@ This subpackage keeps that state alive across requests:
 from repro.service.coalesce import RequestCoalescer
 from repro.service.engine import (
     ConstraintSpec,
+    RefinementEngine,
     RefineRequest,
     RefineResponse,
-    RefinementEngine,
 )
 from repro.service.server import RefinementServer
 from repro.service.session import DatasetSession, SessionPool

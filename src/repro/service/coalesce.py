@@ -13,7 +13,9 @@ which is the layer that makes the re-compute cheap).
 from __future__ import annotations
 
 import threading
-from typing import Callable, Hashable, TypeVar
+from typing import Any, Callable, Hashable, TypeVar
+
+from repro.analysis.debug_locks import guard_mapping
 
 T = TypeVar("T")
 
@@ -25,7 +27,7 @@ class _InFlight:
 
     def __init__(self) -> None:
         self.done = threading.Event()
-        self.result = None
+        self.result: Any = None
         self.error: BaseException | None = None
 
 
@@ -44,7 +46,9 @@ class RequestCoalescer:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._inflight: dict[Hashable, _InFlight] = {}
+        self._inflight: dict[Hashable, _InFlight] = guard_mapping(
+            {}, self._lock, "RequestCoalescer._inflight"
+        )
         self.started = 0
         self.coalesced = 0
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.constraints import (
     BoundType,
@@ -36,7 +36,7 @@ from repro.datasets.registry import DATASET_BUILDERS
 from repro.exceptions import RefinementError
 from repro.relational.sqlgen import render_sql
 from repro.service.coalesce import RequestCoalescer
-from repro.service.session import SessionPool
+from repro.service.session import DatasetSession, SessionPool
 
 #: Methods the facade dispatches on, in documentation order.
 METHODS = ("naive", "naive+prov", "milp", "milp+opt", "erica")
@@ -368,7 +368,7 @@ class RefinementEngine:
             return self._refine_exhaustive(session, request)
         return self._refine_erica(session, request)
 
-    def _refine_milp(self, session, request: RefineRequest) -> RefineResponse:
+    def _refine_milp(self, session: DatasetSession, request: RefineRequest) -> RefineResponse:
         solver = RefinementSolver(
             session.database,
             session.query,
@@ -398,6 +398,7 @@ class RefinementEngine:
             },
         )
         if result.feasible:
+            assert result.refinement is not None  # feasible => a refinement exists
             response.distance_value = result.distance_value
             response.deviation = result.deviation
             response.objective_value = result.objective_value
@@ -406,11 +407,13 @@ class RefinementEngine:
             response.constraint_counts = dict(result.constraint_counts)
         return response
 
-    def _refine_exhaustive(self, session, request: RefineRequest) -> RefineResponse:
+    def _refine_exhaustive(
+        self, session: DatasetSession, request: RefineRequest
+    ) -> RefineResponse:
         search_class = (
             NaiveProvenanceSearch if request.method == "naive+prov" else NaiveSearch
         )
-        kwargs = dict(
+        kwargs: dict[str, Any] = dict(
             epsilon=request.epsilon,
             distance=request.distance,
             timeout=request.time_limit,
@@ -448,13 +451,14 @@ class RefinementEngine:
             },
         )
         if result.feasible:
+            assert result.refinement is not None and result.refined_query is not None
             response.distance_value = result.distance_value
             response.deviation = result.deviation
             response.refinement = result.refinement.describe(session.query)
             response.refined_sql = render_sql(result.refined_query)
         return response
 
-    def _refine_erica(self, session, request: RefineRequest) -> RefineResponse:
+    def _refine_erica(self, session: DatasetSession, request: RefineRequest) -> RefineResponse:
         baseline = EricaBaseline(
             session.database,
             session.query,

@@ -25,7 +25,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.datasets.registry import DATASET_BUILDERS
 from repro.exceptions import RefinementError
-from repro.service.engine import RefineRequest, RefinementEngine
+from repro.service.engine import RefinementEngine, RefineRequest, RefineResponse
 from repro.service.shadow import ShadowEngine
 
 
@@ -36,7 +36,7 @@ class _Handler(BaseHTTPRequestHandler):
     server_facade: "RefinementServer"
     protocol_version = "HTTP/1.1"
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         if self.server_facade.verbose:
             super().log_message(format, *args)
 
@@ -105,19 +105,19 @@ class RefinementServer:
 
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        return str(self._httpd.server_address[0])
 
     @property
     def port(self) -> int:
         """The bound port (useful with ``port=0`` for an ephemeral one)."""
-        return self._httpd.server_address[1]
+        return int(self._httpd.server_address[1])
 
-    def refine(self, request: RefineRequest):
+    def refine(self, request: RefineRequest) -> RefineResponse:
         facade = self.shadow if self.shadow is not None else self.engine
         return facade.refine(request)
 
     def stats(self) -> dict:
-        stats = {
+        stats: dict = {
             "requests_served": self.engine.requests_served,
             "coalescer": {
                 "started": self.engine.coalescer.started,
@@ -126,7 +126,7 @@ class RefinementServer:
             "sessions": self.engine.sessions.describe(),
         }
         if self.shadow is not None:
-            stats["shadow"] = self.shadow.report.to_dict()
+            stats["shadow"] = self.shadow.report_dict()
         return stats
 
     # -- lifecycle ------------------------------------------------------------------
@@ -154,7 +154,7 @@ class RefinementServer:
     def __enter__(self) -> "RefinementServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
 

@@ -28,11 +28,14 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Mapping
 
+from repro.analysis.debug_locks import guard_mapping
 from repro.core.naive import MaskIndexData
 from repro.core.solver import PreparedProblem
 from repro.datasets import load_dataset
 from repro.provenance.lineage import AnnotatedDatabase, annotate
+from repro.relational.database import Database
 from repro.relational.executor import QueryExecutor
+from repro.relational.query import SPJQuery
 
 
 def session_key(dataset: str, parameters: Mapping | None = None) -> tuple:
@@ -71,7 +74,9 @@ class DatasetSession:
         self._annotated: AnnotatedDatabase | None = None
         self._mask_data: MaskIndexData | None = None
         self._mask_data_built = False
-        self._prepared_milps: OrderedDict[tuple, PreparedProblem] = OrderedDict()
+        self._prepared_milps: OrderedDict[tuple, PreparedProblem] = guard_mapping(
+            OrderedDict(), self._lock, "DatasetSession._prepared_milps"
+        )
         self.warmed = False
 
     @property
@@ -79,11 +84,11 @@ class DatasetSession:
         return session_key(self.dataset, self.parameters)
 
     @property
-    def database(self):
+    def database(self) -> Database:
         return self.bundle.database
 
     @property
-    def query(self):
+    def query(self) -> SPJQuery:
         return self.bundle.query
 
     # -- warm state ---------------------------------------------------------------
@@ -153,13 +158,14 @@ class DatasetSession:
 
     def describe(self) -> dict:
         """Session summary for the server's stats endpoint."""
-        return {
-            "dataset": self.dataset,
-            "parameters": dict(self.parameters),
-            "warmed": self.warmed,
-            "annotated": self._annotated is not None,
-            "prepared_milps": len(self._prepared_milps),
-        }
+        with self._lock:
+            return {
+                "dataset": self.dataset,
+                "parameters": dict(self.parameters),
+                "warmed": self.warmed,
+                "annotated": self._annotated is not None,
+                "prepared_milps": len(self._prepared_milps),
+            }
 
 
 class SessionPool:
@@ -183,7 +189,9 @@ class SessionPool:
         self.executor_backend = executor_backend
         self.executor_db_dir = executor_db_dir
         self._lock = threading.RLock()
-        self._sessions: OrderedDict[tuple, DatasetSession] = OrderedDict()
+        self._sessions: OrderedDict[tuple, DatasetSession] = guard_mapping(
+            OrderedDict(), self._lock, "SessionPool._sessions"
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0

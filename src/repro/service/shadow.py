@@ -17,7 +17,7 @@ import random
 import threading
 from dataclasses import dataclass, field, replace
 
-from repro.service.engine import RefineRequest, RefineResponse, RefinementEngine
+from repro.service.engine import RefinementEngine, RefineRequest, RefineResponse
 
 #: Distances are compared after rounding: the two engines may legitimately
 #: reach the optimum along different floating-point paths.
@@ -109,6 +109,11 @@ class ShadowEngine:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.report = ShadowReport(shadow_method=shadow_method, sample_rate=sample_rate)
+
+    def report_dict(self) -> dict:
+        """A consistent snapshot of the running tally (for stats readers)."""
+        with self._lock:
+            return self.report.to_dict()
 
     def _should_sample(self) -> bool:
         with self._lock:

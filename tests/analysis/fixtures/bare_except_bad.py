@@ -1,0 +1,15 @@
+"""Fixture: a bare except and a silently swallowed Exception."""
+
+
+def run(task):
+    try:
+        task()
+    except:
+        return None
+
+
+def swallow(task):
+    try:
+        task()
+    except Exception:
+        pass

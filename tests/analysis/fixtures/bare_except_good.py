@@ -1,0 +1,15 @@
+"""Fixture: handlers that name their exceptions or act on them."""
+
+
+def run(task):
+    try:
+        task()
+    except ValueError:
+        return None
+
+
+def log_and_continue(task, log):
+    try:
+        task()
+    except Exception as error:
+        log.append(error)

@@ -1,0 +1,10 @@
+"""Fixture: undeclared, wrong-namespace, and unresolvable environment keys."""
+
+import os
+
+MODE = os.environ.get("REPRO_FIXTURE_UNDECLARED", "0")
+OTHER = os.getenv("SOME_OTHER_TOOL_FLAG")
+
+
+def read(name):
+    return os.environ[name]

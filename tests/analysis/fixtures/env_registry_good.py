@@ -1,0 +1,8 @@
+"""Fixture: declared keys, one via a module-level constant."""
+
+import os
+
+KNOWN = "REPRO_FIXTURE_KNOWN"
+
+MODE = os.environ.get(KNOWN, "0")
+ALSO = os.getenv("REPRO_FIXTURE_ALSO")

@@ -1,0 +1,9 @@
+"""Fixture: a lock owner without pickle hygiene (one seeded violation)."""
+
+import threading
+
+
+class BadOwner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = []

@@ -1,0 +1,25 @@
+"""Fixture: a lock owner that drops the lock when pickled, plus an exempt one."""
+
+import threading
+
+
+class GoodOwner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = []
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class ExemptOwner:
+    """On the exemption list in the test's config."""
+
+    def __init__(self):
+        self._lock = threading.RLock()

@@ -1,0 +1,16 @@
+"""Fixture: row-wise iteration and per-row dicts in a hot module."""
+
+
+def slow_scan(relation, member):
+    total = 0
+    for row in relation.iter_dicts():
+        if member(row):
+            total += 1
+    return total
+
+
+def build(rows):
+    out = []
+    for row in rows:
+        out.append({"id": row[0], "score": row[1]})
+    return out

@@ -1,0 +1,14 @@
+"""Fixture: columnar evaluation; dicts only outside explicit loops."""
+
+
+def fast_scan(mask):
+    return int(mask.sum())
+
+
+def build(rows):
+    return [{"id": row[0], "score": row[1]} for row in rows]
+
+
+def index(names):
+    lookup = {name: position for position, name in enumerate(names)}
+    return lookup

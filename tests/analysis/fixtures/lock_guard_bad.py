@@ -1,0 +1,16 @@
+"""Fixture: a guarded table read outside its lock (one seeded violation)."""
+
+import threading
+
+
+class GuardedThing:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}
+
+    def bad_read(self, key):
+        return self._table.get(key)
+
+    def good_write(self, key, value):
+        with self._lock:
+            self._table[key] = value

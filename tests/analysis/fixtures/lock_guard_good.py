@@ -1,0 +1,23 @@
+"""Fixture: every guarded access is locked or in an exempt method."""
+
+import threading
+
+
+class GuardedThing:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}
+
+    def write(self, key, value):
+        with self._lock:
+            self._table[key] = value
+
+    def read(self, key):
+        with self._lock:
+            return self._table.get(key)
+
+    def size_locked(self):
+        return len(self._table)
+
+    def __getstate__(self):
+        return {"table": dict(self._table)}

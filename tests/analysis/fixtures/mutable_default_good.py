@@ -1,0 +1,8 @@
+"""Fixture: the None-gated idiom."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,10 @@
+"""Fixture: predicate values interpolated straight into SQL text."""
+
+
+def render(predicate):
+    return f"score >= {predicate.constant}"
+
+
+def render_in(predicate, quote):
+    values = sorted(predicate.values)
+    return "name IN (" + ", ".join(quote(value) for value in values) + ")"

@@ -1,0 +1,11 @@
+"""Fixture: the same clauses with values bound as '?' parameters."""
+
+
+def render(predicate):
+    return "score >= ?", (predicate.constant,)
+
+
+def render_in(predicate):
+    non_null = [value for value in predicate.values if value is not None]
+    placeholders = ", ".join(["?"] * len(non_null))
+    return "name IN (" + placeholders + ")", tuple(non_null)

@@ -1,0 +1,6 @@
+"""Fixture: a suppression without a reason (itself an error)."""
+
+
+def collect(item, bucket=[]):  # repro-lint: disable=no-mutable-default
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,12 @@
+"""Fixture: violations silenced by suppressions that carry reasons."""
+
+
+def collect(item, bucket=[]):  # repro-lint: disable=no-mutable-default -- fixture: intentional shared accumulator
+    bucket.append(item)
+    return bucket
+
+
+# repro-lint: disable=no-mutable-default -- fixture: standalone form covers the next line
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

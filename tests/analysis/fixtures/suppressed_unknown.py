@@ -1,0 +1,5 @@
+"""Fixture: a suppression naming a rule id that does not exist."""
+
+
+def clean():  # repro-lint: disable=not-a-rule -- fixture: typo in the rule id
+    return None

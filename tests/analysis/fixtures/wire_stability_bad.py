@@ -1,0 +1,13 @@
+"""Fixture: a wire dataclass with an unserializable field and a timing leak."""
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Msg:
+    name: str
+    stamp: set[str]
+
+    def canonical_dict(self):
+        return {"name": self.name, "at": time.time()}

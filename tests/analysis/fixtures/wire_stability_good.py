@@ -1,0 +1,13 @@
+"""Fixture: a wire dataclass with JSON-clean fields and canonical form."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Msg:
+    name: str
+    tags: tuple[str, ...]
+    count: int | None = None
+
+    def canonical_dict(self):
+        return {"name": self.name, "tags": list(self.tags), "count": self.count}

@@ -1,0 +1,39 @@
+"""The README environment table is generated from the registry -- no drift."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.debug_locks import DEBUG_ENV_VAR
+from repro.analysis.env_registry import (
+    ENV_VARS,
+    registered_names,
+    render_markdown_table,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+BEGIN = "<!-- env-table:begin -->"
+END = "<!-- env-table:end -->"
+
+
+def test_readme_env_table_matches_registry():
+    text = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert BEGIN in text and END in text, (
+        "README.md is missing the env-table markers; "
+        "run scripts/generate_env_docs.py"
+    )
+    block = text.split(BEGIN, 1)[1].split(END, 1)[0].strip()
+    assert block == render_markdown_table(), (
+        "README.md env table is out of date; run scripts/generate_env_docs.py"
+    )
+
+
+def test_registry_names_are_namespaced_and_unique():
+    names = [var.name for var in ENV_VARS]
+    assert len(names) == len(set(names))
+    assert all(name.startswith("REPRO_") for name in names)
+    assert all(var.description.strip() for var in ENV_VARS)
+
+
+def test_debug_locks_variable_is_declared():
+    assert DEBUG_ENV_VAR in registered_names()

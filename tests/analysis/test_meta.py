@@ -1,0 +1,64 @@
+"""Meta-tests: the committed source tree satisfies its own linter."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import main, run_lint
+from repro.analysis.rules import ALL_RULES
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_src_tree_is_lint_clean():
+    report = run_lint([str(SRC)])
+    assert report.errors == [], "\n" + report.render_text()
+    assert report.files > 50
+
+
+def test_src_suppressions_all_carry_reasons():
+    report = run_lint([str(SRC)])
+    assert all(s.reason for s in report.suppressions)
+    assert all(s.used_for for s in report.suppressions)
+
+
+def test_cli_exits_zero_on_src(capsys):
+    assert main([str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_cli_exit_one_on_violations(capsys):
+    code = main([str(FIXTURES / "mutable_default_bad.py")])
+    assert code == 1
+    assert "no-mutable-default" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    main([str(FIXTURES / "mutable_default_bad.py"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 2
+    assert {d["rule"] for d in payload["diagnostics"]} == {"no-mutable-default"}
+
+
+def test_cli_list_rules_covers_every_rule_id(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_cls in ALL_RULES:
+        assert rule_cls.rule_id in out
+    assert len(ALL_RULES) >= 8
+
+
+def test_cli_usage_error_on_missing_path(capsys):
+    assert main(["no/such/path"]) == 2
+
+
+def test_rule_ids_are_unique_and_documented():
+    ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
+    assert len(ids) == len(set(ids))
+    for rule_cls in ALL_RULES:
+        assert rule_cls.description
+        assert rule_cls.invariant

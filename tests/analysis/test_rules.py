@@ -1,0 +1,202 @@
+"""Per-rule pass/fail tests against the committed fixture files.
+
+Every rule gets at least one fixture that must trip it and one that must stay
+clean.  The fixtures are real files (not inline strings) so the exact bytes
+the rules see are reviewable in the repository.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import run_lint
+from repro.analysis.registry import GuardSpec
+from repro.analysis.rules import (
+    EnvVarRegistryRule,
+    ForkPickleRule,
+    HotPathRowwiseRule,
+    LockGuardRule,
+    NoBareExceptRule,
+    NoMutableDefaultRule,
+    SqlParameterizationRule,
+    WireStabilityRule,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture(name: str) -> str:
+    path = FIXTURES / name
+    assert path.exists(), f"missing fixture {name}"
+    return str(path)
+
+
+def lint(name: str, rule, config: LintConfig):
+    return run_lint([fixture(name)], config=config, rules=[rule])
+
+
+class TestLockGuard:
+    CONFIG = LintConfig(
+        lock_guards={
+            "GuardedThing": GuardSpec(
+                lock="_lock", attributes=("_table",), note="fixture"
+            )
+        }
+    )
+
+    def test_catches_seeded_violation(self):
+        report = lint("lock_guard_bad.py", LockGuardRule(), self.CONFIG)
+        assert [d.rule_id for d in report.diagnostics] == ["lock-guard"]
+        assert "_table" in report.diagnostics[0].message
+
+    def test_locked_and_exempt_accesses_pass(self):
+        report = lint("lock_guard_good.py", LockGuardRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+class TestForkPickle:
+    CONFIG = LintConfig(fork_pickle_exempt={"ExemptOwner": "fixture: never pickled"})
+
+    def test_catches_seeded_violation(self):
+        report = lint("fork_pickle_bad.py", ForkPickleRule(), self.CONFIG)
+        assert [d.rule_id for d in report.diagnostics] == ["fork-pickle-hygiene"]
+        assert "BadOwner" in report.diagnostics[0].message
+
+    def test_hygienic_and_exempt_owners_pass(self):
+        report = lint("fork_pickle_good.py", ForkPickleRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+class TestSqlParameterization:
+    CONFIG = LintConfig(
+        sql_modules=("sql_param_bad.py", "sql_param_good.py"),
+        sql_value_helpers=("_quote_literal",),
+        sql_value_attributes=("constant", "values"),
+    )
+
+    def test_catches_interpolated_values(self):
+        report = lint("sql_param_bad.py", SqlParameterizationRule(), self.CONFIG)
+        rules = {d.rule_id for d in report.diagnostics}
+        assert rules == {"sql-parameterization"}
+        assert len(report.diagnostics) >= 2  # the f-string and the '+' splice
+
+    def test_parameterized_rendering_passes(self):
+        report = lint("sql_param_good.py", SqlParameterizationRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+    def test_rule_is_scoped_to_sql_modules(self):
+        config = LintConfig(
+            sql_modules=("some_other_module.py",),
+            sql_value_attributes=("constant", "values"),
+        )
+        report = lint("sql_param_bad.py", SqlParameterizationRule(), config)
+        assert report.diagnostics == []
+
+
+class TestHotPathRowwise:
+    CONFIG = LintConfig(hot_modules=("hot_path_bad.py", "hot_path_good.py"))
+
+    def test_catches_rowwise_patterns(self):
+        report = lint("hot_path_bad.py", HotPathRowwiseRule(), self.CONFIG)
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert len(report.diagnostics) == 2
+        assert "iter_dicts" in messages
+        assert "dict literal" in messages
+
+    def test_columnar_code_passes(self):
+        report = lint("hot_path_good.py", HotPathRowwiseRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+class TestWireStability:
+    CONFIG = LintConfig(
+        wire_modules=("wire_stability_bad.py", "wire_stability_good.py"),
+        wire_classes=("Msg",),
+        wire_forbidden_names=("time", "timings"),
+    )
+
+    def test_catches_bad_field_and_timing_leak(self):
+        report = lint("wire_stability_bad.py", WireStabilityRule(), self.CONFIG)
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "stamp" in messages
+        assert "canonical_dict" in messages
+
+    def test_json_clean_dataclass_passes(self):
+        report = lint("wire_stability_good.py", WireStabilityRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+class TestEnvVarRegistry:
+    CONFIG = LintConfig(
+        env_var_names=frozenset({"REPRO_FIXTURE_KNOWN", "REPRO_FIXTURE_ALSO"})
+    )
+
+    def test_catches_undeclared_foreign_and_dynamic_keys(self):
+        report = lint("env_registry_bad.py", EnvVarRegistryRule(), self.CONFIG)
+        messages = [d.message for d in report.diagnostics]
+        assert len(messages) == 3
+        assert any("REPRO_FIXTURE_UNDECLARED" in m for m in messages)
+        assert any("SOME_OTHER_TOOL_FLAG" in m for m in messages)
+        assert any("string literal" in m for m in messages)
+
+    def test_declared_keys_pass_including_module_constants(self):
+        report = lint("env_registry_good.py", EnvVarRegistryRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+class TestNoBareExcept:
+    CONFIG = LintConfig()
+
+    def test_catches_bare_and_swallowed(self):
+        report = lint("bare_except_bad.py", NoBareExceptRule(), self.CONFIG)
+        assert len(report.diagnostics) == 2
+
+    def test_named_and_handled_exceptions_pass(self):
+        report = lint("bare_except_good.py", NoBareExceptRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+class TestNoMutableDefault:
+    CONFIG = LintConfig()
+
+    def test_catches_mutable_defaults(self):
+        report = lint("mutable_default_bad.py", NoMutableDefaultRule(), self.CONFIG)
+        assert len(report.diagnostics) == 2
+
+    def test_none_gated_idiom_passes(self):
+        report = lint("mutable_default_good.py", NoMutableDefaultRule(), self.CONFIG)
+        assert report.diagnostics == []
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "lock_guard_bad.py",
+        "fork_pickle_bad.py",
+        "sql_param_bad.py",
+        "hot_path_bad.py",
+        "wire_stability_bad.py",
+        "env_registry_bad.py",
+        "bare_except_bad.py",
+        "mutable_default_bad.py",
+    ],
+)
+def test_every_bad_fixture_fails_the_run(bad):
+    config = LintConfig(
+        lock_guards={
+            "GuardedThing": GuardSpec(lock="_lock", attributes=("_table",), note="f")
+        },
+        hot_modules=("hot_path_bad.py",),
+        sql_modules=("sql_param_bad.py",),
+        sql_value_attributes=("constant", "values"),
+        wire_modules=("wire_stability_bad.py",),
+        wire_classes=("Msg",),
+        wire_forbidden_names=("time",),
+        env_var_names=frozenset(),
+    )
+    report = run_lint([fixture(bad)], config=config)
+    assert report.exit_code == 1
+    assert report.errors

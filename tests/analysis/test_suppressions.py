@@ -1,0 +1,68 @@
+"""Suppression-comment semantics: reasons required, usage tracked."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import parse_suppressions
+from repro.analysis.engine import (
+    BAD_SUPPRESSION,
+    UNKNOWN_SUPPRESSION,
+    UNUSED_SUPPRESSION,
+    run_lint,
+)
+from repro.analysis.rules import NoMutableDefaultRule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint(name: str):
+    return run_lint(
+        [str(FIXTURES / name)], config=LintConfig(), rules=[NoMutableDefaultRule()]
+    )
+
+
+class TestSuppressionApplication:
+    def test_reasoned_suppressions_silence_and_are_counted(self):
+        report = lint("suppressed_ok.py")
+        assert report.diagnostics == []
+        assert len(report.suppressed) == 2
+        assert len(report.suppressions) == 2
+        assert all(s.used_for == {"no-mutable-default"} for s in report.suppressions)
+        assert report.exit_code == 0
+
+    def test_standalone_comment_covers_the_next_line(self):
+        source = (FIXTURES / "suppressed_ok.py").read_text(encoding="utf-8")
+        suppressions = parse_suppressions("suppressed_ok.py", source)
+        standalone = [s for s in suppressions if s.standalone]
+        assert len(standalone) == 1
+        assert standalone[0].covered_lines == (
+            standalone[0].line,
+            standalone[0].line + 1,
+        )
+
+    def test_suppressed_diagnostics_appear_in_text_report(self):
+        report = lint("suppressed_ok.py")
+        rendered = report.render_text(show_suppressed=True)
+        assert "suppressed:" in rendered
+        assert "2 suppressed" in rendered
+
+
+class TestSuppressionHygiene:
+    def test_reasonless_suppression_is_an_error(self):
+        report = lint("suppressed_no_reason.py")
+        assert [d.rule_id for d in report.diagnostics] == [BAD_SUPPRESSION]
+        # It still silences the original diagnostic -- the complaint is about
+        # the missing reason, not a double report.
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 1
+
+    def test_stale_suppression_is_an_error(self):
+        report = lint("suppressed_unused.py")
+        assert [d.rule_id for d in report.diagnostics] == [UNUSED_SUPPRESSION]
+
+    def test_unknown_rule_id_is_an_error(self):
+        report = lint("suppressed_unknown.py")
+        assert [d.rule_id for d in report.diagnostics] == [UNKNOWN_SUPPRESSION]
+        assert "not-a-rule" in report.diagnostics[0].message

@@ -7,7 +7,6 @@ from hypothesis import given, strategies as st
 
 from repro.core import BoundType, CardinalityConstraint, ConstraintSet, Group, at_least, at_most
 from repro.exceptions import ConstraintError
-from repro.relational import QueryExecutor
 
 
 class TestGroup:

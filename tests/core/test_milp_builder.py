@@ -5,13 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ConstraintSet, at_least, at_most, get_distance
+from repro.core.constraints import BoundType
 from repro.core.milp_builder import MILPBuilder, build_model
 from repro.core.optimizations import (
     BuilderOptions,
     apply_relevancy_pruning,
     classify_bound_types,
 )
-from repro.core.constraints import BoundType
+from repro.datasets import law_students_database, law_students_query
 from repro.exceptions import RefinementError
 from repro.provenance import annotate
 from repro.relational import (
@@ -20,7 +21,6 @@ from repro.relational import (
     QueryExecutor,
     SPJQuery,
 )
-from repro.datasets import law_students_database, law_students_query
 
 
 @pytest.fixture(scope="module")

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -18,7 +16,6 @@ from repro.core import (
 from repro.exceptions import RefinementError
 from repro.provenance import annotate
 from repro.relational import (
-    CategoricalPredicate,
     Conjunction,
     NumericalPredicate,
     Operator,

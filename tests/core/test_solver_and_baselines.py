@@ -13,7 +13,6 @@ from repro.core import (
     RefinementProblem,
     RefinementSolver,
     at_least,
-    at_most,
 )
 from repro.core.solver import solve_refinement
 from repro.exceptions import NoRefinementError, RefinementError

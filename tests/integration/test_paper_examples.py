@@ -9,7 +9,6 @@ from repro.core import (
     PredicateDistance,
     RefinementSolver,
     at_least,
-    at_most,
 )
 from repro.relational import (
     CategoricalPredicate,

@@ -63,8 +63,10 @@ class TestJoinCacheInvalidation:
         database.add(Relation("r", schema, [("a", 1), ("b", 2), ("c", 3)]))
         assert len(executor.evaluate(query)) == 3
         # The stale entry is replaced, not kept alongside (bounded memory).
-        assert len(executor._join_cache) == 1
-        assert len(executor._ordered_cache) == 1
+        # White-box cache reads hold the cache lock (REPRO_DEBUG_LOCKS).
+        with executor._cache_lock:
+            assert len(executor._join_cache) == 1
+            assert len(executor._ordered_cache) == 1
 
 
 class TestBackendSelection:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.datasets import law_students_database, law_students_query
 from repro.exceptions import QueryError
 from repro.relational import (
     CategoricalPredicate,
@@ -19,9 +20,8 @@ from repro.relational import (
     SQLiteExecutor,
     render_sql,
 )
-from repro.relational.sqlgen import render_predicate, render_where
 from repro.relational.schema import categorical, numerical
-from repro.datasets import law_students_database, law_students_query
+from repro.relational.sqlgen import render_predicate, render_where
 
 
 class TestSPJQuery:

@@ -84,9 +84,12 @@ class TestSQLitePerThreadConnections:
                 pool.submit(touch) for _ in range(4)
             ]}
         # One pooled connection per distinct thread that touched the executor
-        # (plus the main thread's).
-        pooled = executor._sqlite_pool._executors
-        assert idents <= set(pooled)
+        # (plus the main thread's).  White-box reads of the pool table hold
+        # its lock (REPRO_DEBUG_LOCKS enforces this).
+        pool_state = executor._sqlite_pool
+        with pool_state._lock:
+            pooled = set(pool_state._executors)
+        assert idents <= pooled
         assert threading.get_ident() in pooled
 
     def test_pool_is_bounded(self, tmp_path):
@@ -102,7 +105,8 @@ class TestSQLitePerThreadConnections:
             thread = threading.Thread(target=touch)
             thread.start()
             thread.join(timeout=60)
-        assert len(executor._sqlite_pool._executors) <= cap
+        with executor._sqlite_pool._lock:
+            assert len(executor._sqlite_pool._executors) <= cap
 
     def test_close_connections_clears_pool(self, tmp_path):
         executor, query = build_executor("sqlite", tmp_path)

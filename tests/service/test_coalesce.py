@@ -8,7 +8,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from repro.service import RefineRequest, RefinementEngine, RequestCoalescer
+from repro.service import RefinementEngine, RefineRequest, RequestCoalescer
 from repro.service.engine import ConstraintSpec
 
 

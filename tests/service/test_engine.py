@@ -12,9 +12,9 @@ from repro.datasets import load_dataset
 from repro.exceptions import RefinementError
 from repro.service import (
     ConstraintSpec,
+    RefinementEngine,
     RefineRequest,
     RefineResponse,
-    RefinementEngine,
 )
 
 CONSTRAINTS = (

@@ -16,10 +16,10 @@ import pytest
 from repro.cli import main
 from repro.datasets.registry import DATASET_BUILDERS
 from repro.service import (
-    RefineRequest,
-    RefineResponse,
     RefinementEngine,
     RefinementServer,
+    RefineRequest,
+    RefineResponse,
     SessionPool,
 )
 

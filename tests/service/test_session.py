@@ -55,10 +55,12 @@ class TestDatasetSession:
         session = DatasetSession("students")
         for index in range(session.MILP_CACHE_SIZE + 5):
             session.prepared_milp((index,), object)
-        assert len(session._prepared_milps) == session.MILP_CACHE_SIZE
-        # The oldest keys were evicted, the newest survive.
-        assert (0,) not in session._prepared_milps
-        assert (session.MILP_CACHE_SIZE + 4,) in session._prepared_milps
+        # White-box reads of the LRU hold the session lock (REPRO_DEBUG_LOCKS).
+        with session._lock:
+            assert len(session._prepared_milps) == session.MILP_CACHE_SIZE
+            # The oldest keys were evicted, the newest survive.
+            assert (0,) not in session._prepared_milps
+            assert (session.MILP_CACHE_SIZE + 4,) in session._prepared_milps
 
     def test_describe(self, session):
         summary = session.describe()

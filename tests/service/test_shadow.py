@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.service import RefineRequest, RefinementEngine, ShadowEngine
+from repro.service import RefinementEngine, RefineRequest, ShadowEngine
 from repro.service.engine import ConstraintSpec
 from repro.service.shadow import comparable
 
