@@ -1,0 +1,97 @@
+"""Incumbent quality vs deadline for the portfolio racer (perf_smoke series).
+
+Runs the default portfolio (``milp+opt`` vs ``naive+prov``) on the reduced
+astronauts workload — the configuration where the anytime behaviour is
+visible end to end: the exhaustive sweep faces a ~2^100-candidate space and
+streams nothing early, while the MILP first surfaces a *partial* incumbent
+from an expired time slice and then, given budget, proves the (non-trivial)
+optimum.  One row per deadline records that curve: empty-handed at the
+tightest deadlines, an unproven incumbent in the middle, the proven optimum
+once the budget covers a full solve.  The sweep is configured by
+``REPRO_PORTFOLIO_DEADLINES`` (comma-separated seconds) and lands in
+``benchmarks/results/latest.json`` like every other series.
+
+Two assertions guard the SLA contract rather than raw speed: every race must
+hand control back within deadline + 0.5s, and the most generous deadline must
+return the proven optimum.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.support import (
+    DEFAULT_EPSILON,
+    RunRecord,
+    dataset_bundle,
+    default_constraint_set,
+    print_records,
+)
+from repro.core.portfolio import PortfolioSolver
+
+pytestmark = pytest.mark.perf_smoke
+
+#: Return-time slack on top of each deadline (the acceptance bound).
+_RETURN_SLACK_SECONDS = 0.5
+
+
+def _deadlines() -> list[float]:
+    raw = os.environ.get("REPRO_PORTFOLIO_DEADLINES", "0.05,0.2,1.0,5.0")
+    return [float(part) for part in raw.split(",") if part.strip()]
+
+
+def test_portfolio_quality_vs_deadline_curve():
+    bundle = dataset_bundle("astronauts")
+    constraints = default_constraint_set("astronauts")
+    records = []
+    for deadline in _deadlines():
+        solver = PortfolioSolver(
+            bundle.database,
+            bundle.query,
+            constraints,
+            epsilon=DEFAULT_EPSILON,
+            deadline=deadline,
+        )
+        started = time.perf_counter()
+        result = solver.solve()
+        returned_in = time.perf_counter() - started
+        records.append(
+            RunRecord(
+                dataset="astronauts",
+                algorithm=f"PORTFOLIO@{deadline:g}s",
+                distance=result.distance_code,
+                feasible=result.feasible,
+                timed_out=result.status == "deadline",
+                setup_seconds=0.0,
+                solve_seconds=result.elapsed,
+                total_seconds=returned_in,
+                distance_value=result.distance_value,
+                deviation=result.deviation,
+                extra={
+                    "deadline_s": deadline,
+                    "status": result.status,
+                    "winner": result.winner,
+                    "proven_optimal": result.proven_optimal,
+                    "engines": result.engine_statuses,
+                    "bounds_timeline": [
+                        {"elapsed_seconds": at, "engine": label, "distance": value}
+                        for at, label, value in result.bounds_timeline
+                    ],
+                },
+            )
+        )
+        assert returned_in < deadline + _RETURN_SLACK_SECONDS, (
+            f"portfolio with deadline={deadline:g}s returned in "
+            f"{returned_in:.3f}s — the SLA allows {_RETURN_SLACK_SECONDS}s slack"
+        )
+    print_records(
+        "portfolio deadline sweep (astronauts, milp+opt vs naive+prov)", records
+    )
+    generous = records[-1]
+    assert generous.feasible, "the most generous deadline must find a refinement"
+    assert generous.extra["proven_optimal"], (
+        "the most generous deadline must end on a proof, not the clock"
+    )

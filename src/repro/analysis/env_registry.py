@@ -96,6 +96,13 @@ ENV_VARS: tuple[EnvVar, ...] = (
         "Wall-clock budget (seconds) of the Erica num_solutions=3 guard.",
     ),
     EnvVar(
+        "REPRO_PORTFOLIO_DEADLINES",
+        "0.05,0.2,1.0,5.0",
+        SCOPE_BENCHMARK,
+        "Comma-separated deadlines (seconds) the portfolio benchmark sweeps "
+        "to record its incumbent-quality-vs-deadline curve.",
+    ),
+    EnvVar(
         "REPRO_REQUIRE_PARALLEL_SPEEDUP",
         "0",
         SCOPE_CI,

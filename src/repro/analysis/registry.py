@@ -49,6 +49,18 @@ LOCK_GUARDS: dict[str, GuardSpec] = {
         attributes=("_sessions",),
         note="session LRU: get/adopt reorder and evict concurrently",
     ),
+    "RaceControl": GuardSpec(
+        lock="_lock",
+        attributes=(
+            "_best_upper",
+            "_proven_lower",
+            "_timeline",
+            "_cancelled",
+            "_cancel_all",
+        ),
+        note="shared race state (bounds, timeline, cancellation flags) "
+        "published by engine threads while the selection loop reads",
+    ),
     "RequestCoalescer": GuardSpec(
         lock="_lock",
         attributes=("_inflight",),
@@ -90,6 +102,10 @@ FORK_PICKLE_EXEMPT: dict[str, str] = {
         "persistent sqlite store, never shipped between processes"
     ),
     "SessionPool": "server-resident LRU over sessions; never pickled",
+    "RaceControl": (
+        "race-scoped shared state on threads of one PortfolioSolver.solve; "
+        "pool workers receive plain timeouts/budgets, never the control"
+    ),
     "_AtomInterner": (
         "process-wide singleton with explicit os.register_at_fork hooks "
         "(lock held across fork, child re-creates it); never pickled"

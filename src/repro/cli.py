@@ -142,6 +142,8 @@ def _build_request(args: argparse.Namespace):
         max_candidates=args.max_candidates,
         num_solutions=args.num_solutions,
         output_size=args.output_size,
+        deadline_s=args.deadline,
+        engines=tuple(args.engines or ()),
     )
 
 
@@ -180,6 +182,34 @@ def _print_refine_response(response) -> int:
             return 1
         print(
             f"distance={response.distance_value:.4g} deviation={response.deviation:.4g}"
+        )
+        print("\nrefinement:", response.refinement)
+        print("\nrefined query:")
+        print(response.refined_sql)
+        return 0
+    if response.engine == "portfolio":
+        race = response.race
+        statuses = ", ".join(
+            f"{label}={record['status']}"
+            for label, record in sorted(race.get("engines", {}).items())
+        )
+        print(
+            f"[portfolio/{response.distance_code}] {response.status} "
+            f"winner={race.get('winner')} "
+            f"deadline={race.get('deadline_s'):.3g}s "
+            f"elapsed={timings['elapsed_seconds']:.3f}s "
+            f"engines: {statuses}"
+        )
+        if not response.feasible:
+            if response.status == "deadline":
+                print("Deadline expired before any engine found a feasible incumbent.")
+            else:
+                print(infeasible_note)
+            return 1
+        proven = " (proven optimal)" if race.get("proven_optimal") else ""
+        print(
+            f"distance={response.distance_value:.4g} "
+            f"deviation={response.deviation:.4g}{proven}"
         )
         print("\nrefinement:", response.refinement)
         print("\nrefined query:")
@@ -291,7 +321,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             seed=args.shadow_seed,
         )
     server = RefinementServer(
-        host=args.host, port=args.port, engine=engine, shadow=shadow, verbose=True
+        host=args.host,
+        port=args.port,
+        engine=engine,
+        shadow=shadow,
+        verbose=True,
+        default_deadline_s=args.default_deadline,
     )
     for spec in args.warm or []:
         dataset, parameters = _parse_warm_spec(spec)
@@ -355,15 +390,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     refine_parser.add_argument(
         "--method", default="milp+opt",
-        choices=["milp", "milp+opt", "naive", "naive+prov", "erica"],
+        choices=["milp", "milp+opt", "naive", "naive+prov", "erica", "portfolio"],
         help="algorithm variant (MILP solvers, the exhaustive baselines, "
-        "or the Erica-style whole-output baseline)",
+        "the Erica-style whole-output baseline, or the deadline-bounded "
+        "portfolio race)",
     )
     refine_parser.add_argument(
         "--backend", default="auto", help="MILP backend (auto, scipy, branch_and_bound)"
     )
     refine_parser.add_argument(
         "--time-limit", type=float, default=None, help="solver time limit in seconds"
+    )
+    refine_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock SLA for --method portfolio: the race returns its "
+        "best verified incumbent when this budget expires",
+    )
+    refine_parser.add_argument(
+        "--engines", action="append", metavar="METHOD",
+        choices=["milp", "milp+opt", "naive", "naive+prov"],
+        help="engine raced by --method portfolio (repeatable; default: "
+        "milp+opt and naive+prov)",
     )
     refine_parser.add_argument(
         "--jobs", type=int, default=None,
@@ -420,6 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--executor-db-dir", default=None, metavar="DIR",
         help="directory for per-session persisted sqlite stores",
+    )
+    serve_parser.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="SLA applied to portfolio requests that omit deadline_s",
     )
     serve_parser.add_argument(
         "--shadow-method", default=None,

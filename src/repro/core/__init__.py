@@ -35,6 +35,14 @@ from repro.core.distances import (
 )
 from repro.core.erica import EricaBaseline, EricaResult
 from repro.core.naive import MaskIndexData, NaiveProvenanceSearch, NaiveSearch
+from repro.core.portfolio import (
+    EngineReport,
+    EngineSpec,
+    PortfolioResult,
+    PortfolioSolver,
+    RaceAllPolicy,
+    StaggeredPolicy,
+)
 from repro.core.problem import RefinementProblem
 from repro.core.refinement import Refinement, RefinementSpace
 from repro.core.reporting import (
@@ -50,6 +58,8 @@ __all__ = [
     "ConstraintSet",
     "DistanceComparison",
     "DistanceMeasure",
+    "EngineReport",
+    "EngineSpec",
     "EricaBaseline",
     "EricaResult",
     "Group",
@@ -58,13 +68,17 @@ __all__ = [
     "MaskIndexData",
     "NaiveProvenanceSearch",
     "NaiveSearch",
+    "PortfolioResult",
+    "PortfolioSolver",
     "PredicateDistance",
     "PreparedProblem",
+    "RaceAllPolicy",
     "Refinement",
     "RefinementProblem",
     "RefinementResult",
     "RefinementSolver",
     "RefinementSpace",
+    "StaggeredPolicy",
     "at_least",
     "at_most",
     "compare_distances",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.core import parallel
 from repro.core.constraints import ConstraintSet
@@ -49,6 +49,11 @@ class NaiveResult:
     candidates_examined: int = 0
     exhausted: bool = False
     timed_out: bool = False
+    #: The search was stopped by its ``should_stop`` hook (portfolio racing).
+    cancelled: bool = False
+    #: The incumbent matched the ``cutoff`` lower bound — proven optimal
+    #: without exhausting the space.
+    cutoff_reached: bool = False
     setup_seconds: float = 0.0
     search_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -74,6 +79,9 @@ class _BaseExhaustiveSearch:
         executor_db: str | None = None,
         executor: QueryExecutor | None = None,
         annotated: AnnotatedDatabase | None = None,
+        should_stop: Callable[[], bool] | None = None,
+        on_incumbent: Callable[[float, Refinement, float], None] | None = None,
+        cutoff: float | Callable[[], float | None] | None = None,
     ) -> None:
         self.database = database
         self.query = query
@@ -83,6 +91,15 @@ class _BaseExhaustiveSearch:
         self.timeout = timeout
         self.max_candidates = max_candidates
         self.jobs = parallel.resolve_jobs(jobs)
+        # Portfolio-racing hooks (all optional; the defaults leave behaviour
+        # byte-identical to the plain search).  ``should_stop`` is polled
+        # between candidates for cooperative cancellation; ``on_incumbent``
+        # streams each strict improvement out; ``cutoff`` is a proven lower
+        # bound (value or live callable) — an incumbent matching it is
+        # optimal, so the search stops with ``cutoff_reached``.
+        self._should_stop = should_stop
+        self._on_incumbent = on_incumbent
+        self._cutoff = cutoff
         # A warm dataset session shares its executor (cached join/sort, warm
         # sqlite store) and pre-annotated ~Q(D) across searches; one-shot
         # callers keep the build-it-here behaviour.
@@ -129,6 +146,8 @@ class _BaseExhaustiveSearch:
             candidates_examined=summary.examined,
             exhausted=summary.exhausted,
             timed_out=summary.timed_out,
+            cancelled=summary.cancelled,
+            cutoff_reached=summary.cutoff_reached,
             setup_seconds=setup_seconds,
             search_seconds=search_seconds,
             total_seconds=setup_seconds + search_seconds,
@@ -148,8 +167,14 @@ class _BaseExhaustiveSearch:
         examined = 0
         exhausted = True
         timed_out = False
+        cancelled = False
+        cutoff_reached = False
         search_started = time.perf_counter()
         for refinement in self._space.enumerate():
+            if self._should_stop is not None and self._should_stop():
+                exhausted = False
+                cancelled = True
+                break
             if self.timeout is not None and time.perf_counter() - search_started > self.timeout:
                 exhausted = False
                 timed_out = True
@@ -163,9 +188,43 @@ class _BaseExhaustiveSearch:
                 best is None or candidate[0] < best[0] - parallel.IMPROVEMENT_EPSILON
             ):
                 best = candidate
+                if self._on_incumbent is not None:
+                    self._on_incumbent(best[0], best[1], best[2])
+                cutoff = self.cutoff_value()
+                if cutoff is not None and best[0] <= cutoff + 1e-9:
+                    exhausted = False
+                    cutoff_reached = True
+                    break
         return parallel.SweepSummary(
-            best=best, examined=examined, exhausted=exhausted, timed_out=timed_out
+            best=best,
+            examined=examined,
+            exhausted=exhausted,
+            timed_out=timed_out,
+            cancelled=cancelled,
+            cutoff_reached=cutoff_reached,
         )
+
+    def cutoff_value(self) -> float | None:
+        """The current proven lower bound (resolving a live callable)."""
+        if self._cutoff is None:
+            return None
+        if callable(self._cutoff):
+            value = self._cutoff()
+            return None if value is None else float(value)
+        return float(self._cutoff)
+
+    def __getstate__(self) -> dict:
+        # The racing hooks close over thread-local race state (locks, result
+        # queues) and must never cross a pickle/fork boundary; workers are
+        # bounded by plain shard deadlines and budgets instead.
+        state = self.__dict__.copy()
+        state["_should_stop"] = None
+        state["_on_incumbent"] = None
+        state["_cutoff"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def _examine(self, refinement: Refinement) -> tuple[float, Refinement, float] | None:
         """Evaluate one candidate; ``(distance, refinement, deviation)`` if acceptable."""

@@ -168,6 +168,10 @@ class SweepSummary:
     examined: int
     exhausted: bool
     timed_out: bool
+    #: Stopped by the search's cooperative ``should_stop`` hook.
+    cancelled: bool = False
+    #: The incumbent matched the proven ``cutoff`` lower bound.
+    cutoff_reached: bool = False
 
 
 def run_sharded_search(
@@ -205,6 +209,12 @@ def run_sharded_search(
     else:  # pragma: no cover - exercised only on spawn-only platforms
         payload = pickle.dumps(search)
 
+    # Portfolio-racing hooks: polled/fired in the parent only (workers are
+    # bounded by the shard deadline; the hooks never cross the fork).
+    should_stop = getattr(search, "_should_stop", None)
+    on_incumbent = getattr(search, "_on_incumbent", None)
+    cutoff_value = getattr(search, "cutoff_value", None)
+
     global _WORKER_SEARCH
     state: dict = {"truncated": False}
     tasks = _shard_tasks(space, chunk, tail, max_candidates, deadline, state)
@@ -212,6 +222,8 @@ def run_sharded_search(
     examined = 0
     exhausted = True
     timed_out = False
+    cancelled = False
+    cutoff_reached = False
     _WORKER_SEARCH = search
     try:
         with context.Pool(
@@ -222,7 +234,15 @@ def run_sharded_search(
             stream_dry = False
             stopped_on_deadline = False
             while True:
-                while not stream_dry and not stopped_on_deadline and len(pending) < window:
+                while (
+                    not stream_dry
+                    and not stopped_on_deadline
+                    and not cutoff_reached
+                    and len(pending) < window
+                ):
+                    if should_stop is not None and should_stop():
+                        cancelled = True
+                        break
                     if deadline is not None and time.time() > deadline:
                         stopped_on_deadline = True
                         break
@@ -231,6 +251,12 @@ def run_sharded_search(
                         stream_dry = True
                         break
                     pending.append(pool.apply_async(_run_shard, (task,)))
+                if cancelled or cutoff_reached:
+                    # Abandon in-flight shards; leaving the with-block
+                    # terminates the pool, so a cancelled race never holds
+                    # workers past the decision.
+                    exhausted = False
+                    break
                 if not pending:
                     break
                 outcome: ShardOutcome = pending.popleft().get()
@@ -242,6 +268,11 @@ def run_sharded_search(
                     best is None or outcome.best[0] < best[0] - IMPROVEMENT_EPSILON
                 ):
                     best = outcome.best
+                    if on_incumbent is not None:
+                        on_incumbent(best[0], best[1], best[2])
+                    cutoff = cutoff_value() if cutoff_value is not None else None
+                    if cutoff is not None and best[0] <= cutoff + 1e-9:
+                        cutoff_reached = True
             if state["truncated"]:
                 # The candidate budget ran out with further candidates left.
                 exhausted = False
@@ -252,7 +283,12 @@ def run_sharded_search(
     finally:
         _WORKER_SEARCH = None
     return SweepSummary(
-        best=best, examined=examined, exhausted=exhausted, timed_out=timed_out
+        best=best,
+        examined=examined,
+        exhausted=exhausted,
+        timed_out=timed_out,
+        cancelled=cancelled,
+        cutoff_reached=cutoff_reached,
     )
 
 

@@ -68,6 +68,10 @@ class RefinementResult:
     total_seconds: float = 0.0
     model_statistics: dict[str, int] = field(default_factory=dict)
     refined_result: RankedResult | None = None
+    #: Terminal backend status (``"optimal"``/``"infeasible"``/``"time_limit"``
+    #: ...) — lets anytime callers distinguish a proven optimum from a
+    #: time-limited incumbent.
+    solution_status: str = ""
 
     @property
     def sql(self) -> str | None:
@@ -255,6 +259,7 @@ class RefinementSolver:
             method=self.method,
             distance_code=self.distance.code,
             model_statistics=artifacts.statistics,
+            solution_status=solution.status.value,
         )
         if not solution.is_feasible:
             return base

@@ -39,6 +39,15 @@ class DatasetError(ReproError):
     """Raised when a dataset generator receives invalid parameters."""
 
 
+class DeadlineExceeded(ReproError):
+    """Raised when a deadline-bounded solve ends with no feasible incumbent.
+
+    Only raised on request (``raise_on_deadline=True`` /
+    ``RefineRequest`` wire calls): the anytime contract prefers returning the
+    best partial incumbent, and this error marks the case where there is none.
+    """
+
+
 class NoRefinementError(ReproError):
     """Raised when no refinement within the requested maximum deviation exists.
 

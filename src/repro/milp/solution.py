@@ -53,6 +53,16 @@ class Solution:
         return self.status is SolveStatus.OPTIMAL
 
     @property
+    def has_incumbent(self) -> bool:
+        """True when the solution carries an assignment, whatever the status.
+
+        Weaker than :attr:`is_feasible` by design: a time- or node-limited
+        solve that found *any* integral assignment has an incumbent, which is
+        exactly what an anytime caller (the portfolio racer) wants to read.
+        """
+        return bool(self.values)
+
+    @property
     def is_feasible(self) -> bool:
         """True when an incumbent assignment is available."""
         return self.status in (

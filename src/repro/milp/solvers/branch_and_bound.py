@@ -86,24 +86,36 @@ class BranchAndBoundSolver(SolverBackend):
             if form.maximize:
                 internal_lower = -internal_lower
 
-        root_relaxation = self._solve_relaxation(form, form.lower, form.upper)
-        if root_relaxation is None:
-            return Solution(
-                status=SolveStatus.INFEASIBLE,
-                solver_name=self.name,
-                solve_seconds=time.perf_counter() - started,
-            )
-        root_bound, _ = root_relaxation
-
-        heap: list[_Node] = [
-            _Node(root_bound, next(counter), form.lower.copy(), form.upper.copy())
-        ]
+        # Check the warm start *before* touching any LP: a warm incumbent that
+        # already matches a proven lower bound is optimal, and the solve must
+        # terminate immediately (zero relaxations) — the portfolio racer leans
+        # on this when one engine's proof reaches another's launch.
         incumbent_value = np.inf
         incumbent_x: np.ndarray | None = None
         warm_x = self._feasible_warm_start(form, warm_start_values, warm_start_tolerance)
         if warm_x is not None:
             incumbent_value = float(form.c @ warm_x)
             incumbent_x = warm_x
+
+        heap: list[_Node] = []
+        if incumbent_x is None or incumbent_value > internal_lower + absolute_gap:
+            root_relaxation = self._solve_relaxation(form, form.lower, form.upper)
+            if root_relaxation is None:
+                if incumbent_x is None:
+                    return Solution(
+                        status=SolveStatus.INFEASIBLE,
+                        solver_name=self.name,
+                        solve_seconds=time.perf_counter() - started,
+                    )
+                # A feasible warm start refutes root-LP infeasibility (numerics);
+                # fall through and return the incumbent.
+            else:
+                root_bound, _ = root_relaxation
+                heap = [
+                    _Node(
+                        root_bound, next(counter), form.lower.copy(), form.upper.copy()
+                    )
+                ]
         nodes_explored = 0
         status = SolveStatus.OPTIMAL
 

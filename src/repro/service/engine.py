@@ -3,7 +3,8 @@
 :class:`RefinementEngine` is the single entry point the CLI ``refine``
 command, the HTTP server and the shadow rollout facade all call.  A
 :class:`RefineRequest` names a dataset configuration, a constraint set and a
-method (``naive``, ``naive+prov``, ``milp``, ``milp+opt`` or ``erica``); the
+method (``naive``, ``naive+prov``, ``milp``, ``milp+opt``, ``erica`` or the
+deadline-bounded ``portfolio`` race); the
 engine resolves the dataset to a warm :class:`~repro.service.session
 .DatasetSession`, dispatches to the matching solver with the session's shared
 state, and returns a :class:`RefineResponse` whose JSON serialization is
@@ -31,6 +32,12 @@ from repro.core.constraints import (
 from repro.core.distances import get_distance
 from repro.core.erica import EricaBaseline
 from repro.core.naive import NaiveProvenanceSearch, NaiveSearch
+from repro.core.portfolio import (
+    DEFAULT_ENGINES,
+    PORTFOLIO_METHODS,
+    EngineSpec,
+    PortfolioSolver,
+)
 from repro.core.solver import RefinementSolver
 from repro.datasets.registry import DATASET_BUILDERS
 from repro.exceptions import RefinementError
@@ -39,7 +46,7 @@ from repro.service.coalesce import RequestCoalescer
 from repro.service.session import DatasetSession, SessionPool
 
 #: Methods the facade dispatches on, in documentation order.
-METHODS = ("naive", "naive+prov", "milp", "milp+opt", "erica")
+METHODS = ("naive", "naive+prov", "milp", "milp+opt", "erica", "portfolio")
 
 #: Dataset-builder parameters a request may override.
 DATASET_PARAMETERS = ("num_rows", "scale_factor", "seed")
@@ -131,12 +138,18 @@ class RefineRequest:
     max_candidates: int | None = None
     num_solutions: int = 1
     output_size: int | None = None
+    #: Wall-clock SLA of a ``method="portfolio"`` race, in seconds.
+    deadline_s: float | None = None
+    #: Engine methods a ``portfolio`` request races (empty = the default
+    #: portfolio).
+    engines: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "constraints", tuple(self.constraints))
         object.__setattr__(
             self, "dataset_parameters", tuple(sorted(dict(self.dataset_parameters).items()))
         )
+        object.__setattr__(self, "engines", tuple(str(name) for name in self.engines))
 
     def validate(self) -> None:
         if self.dataset not in DATASET_BUILDERS:
@@ -163,6 +176,28 @@ class RefineRequest:
             )
         if self.num_solutions < 1:
             raise RefinementError("num_solutions must be at least 1")
+        if self.method == "portfolio":
+            if self.deadline_s is None or self.deadline_s <= 0:
+                raise RefinementError(
+                    "method='portfolio' needs a positive deadline_s "
+                    "(the race's wall-clock SLA)"
+                )
+            for name in self.engines:
+                if name not in PORTFOLIO_METHODS:
+                    raise RefinementError(
+                        f"unknown portfolio engine {name!r}; "
+                        f"available: {list(PORTFOLIO_METHODS)}"
+                    )
+        else:
+            if self.deadline_s is not None:
+                raise RefinementError(
+                    "deadline_s is only valid with method='portfolio' "
+                    "(use time_limit for single-engine budgets)"
+                )
+            if self.engines:
+                raise RefinementError(
+                    "engines is only valid with method='portfolio'"
+                )
 
     # -- identity -------------------------------------------------------------------
 
@@ -181,6 +216,10 @@ class RefineRequest:
             self.max_candidates,
             self.num_solutions,
             self.output_size,
+            # A 0.1s and a 30s race are different computations: the deadline
+            # (and the engine list) must split the coalescing key.
+            self.deadline_s,
+            self.engines,
         )
 
     def milp_key(self) -> tuple:
@@ -203,12 +242,14 @@ class RefineRequest:
         }
         if self.dataset_parameters:
             data["dataset_parameters"] = dict(self.dataset_parameters)
-        for name in ("time_limit", "jobs", "max_candidates", "output_size"):
+        for name in ("time_limit", "jobs", "max_candidates", "output_size", "deadline_s"):
             value = getattr(self, name)
             if value is not None:
                 data[name] = value
         if self.num_solutions != 1:
             data["num_solutions"] = self.num_solutions
+        if self.engines:
+            data["engines"] = list(self.engines)
         return data
 
     @classmethod
@@ -245,6 +286,10 @@ class RefineRequest:
             output_size=(
                 None if data.get("output_size") is None else int(data["output_size"])
             ),
+            deadline_s=(
+                None if data.get("deadline_s") is None else float(data["deadline_s"])
+            ),
+            engines=tuple(str(name) for name in data.get("engines") or ()),
         )
 
     def to_json(self) -> str:
@@ -279,6 +324,9 @@ class RefineResponse:
     statistics: dict = field(default_factory=dict)
     refinements: list[dict] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    #: Portfolio provenance (winner, per-engine statuses, bounds timeline).
+    #: Race-dependent, so — like timings — excluded from the canonical form.
+    race: dict = field(default_factory=dict)
 
     def canonical_dict(self) -> dict:
         """The deterministic part of the response (no timings)."""
@@ -305,6 +353,8 @@ class RefineResponse:
     def to_dict(self) -> dict:
         data = self.canonical_dict()
         data["timings"] = dict(self.timings)
+        if self.race:
+            data["race"] = dict(self.race)
         return data
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -328,6 +378,7 @@ class RefineResponse:
             statistics=dict(data.get("statistics") or {}),
             refinements=list(data.get("refinements") or []),
             timings=dict(data.get("timings") or {}),
+            race=dict(data.get("race") or {}),
         )
 
 
@@ -362,11 +413,62 @@ class RefinementEngine:
 
     def _refine(self, request: RefineRequest) -> RefineResponse:
         session = self.sessions.get(request.dataset, dict(request.dataset_parameters))
+        if request.method == "portfolio":
+            return self._refine_portfolio(session, request)
         if request.method in ("milp", "milp+opt"):
             return self._refine_milp(session, request)
         if request.method in ("naive", "naive+prov"):
             return self._refine_exhaustive(session, request)
         return self._refine_erica(session, request)
+
+    def _refine_portfolio(
+        self, session: DatasetSession, request: RefineRequest
+    ) -> RefineResponse:
+        assert request.deadline_s is not None  # validate() enforced this
+        specs = tuple(
+            EngineSpec(
+                method=name,
+                backend=request.backend,
+                jobs=request.jobs,
+                max_candidates=request.max_candidates,
+            )
+            for name in (request.engines or DEFAULT_ENGINES)
+        )
+        solver = PortfolioSolver(
+            session.database,
+            session.query,
+            request.constraint_set(),
+            epsilon=request.epsilon,
+            distance=request.distance,
+            engines=specs,
+            deadline=request.deadline_s,
+            executor=session.executor,
+            annotated=session.annotated(),
+            mask_data=session.mask_data(),
+        )
+        result = solver.solve()
+        response = RefineResponse(
+            request=request,
+            engine="portfolio",
+            method=result.method,
+            distance_code=result.distance_code,
+            status=result.status,
+            feasible=result.feasible,
+            statistics={
+                "engines": [spec.label for spec in specs],
+                "deadline_s": result.deadline,
+            },
+            timings={"elapsed_seconds": result.elapsed},
+            race=result.race_record(),
+        )
+        if result.feasible:
+            assert result.refinement is not None and result.refined_query is not None
+            response.distance_value = result.distance_value
+            response.deviation = result.deviation
+            response.refinement = result.refinement.describe(session.query)
+            response.refined_sql = render_sql(result.refined_query)
+            response.constraint_counts = dict(result.constraint_counts)
+        return response
 
     def _refine_milp(self, session: DatasetSession, request: RefineRequest) -> RefineResponse:
         solver = RefinementSolver(

@@ -19,6 +19,7 @@ coalesced duplicate solves) — the handler itself is stateless.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -93,10 +94,14 @@ class RefinementServer:
         engine: RefinementEngine | None = None,
         shadow: ShadowEngine | None = None,
         verbose: bool = False,
+        default_deadline_s: float | None = None,
     ) -> None:
         self.engine = engine or (shadow.engine if shadow else RefinementEngine())
         self.shadow = shadow
         self.verbose = verbose
+        # The serving-level SLA knob: portfolio requests that do not name
+        # their own deadline inherit this one.
+        self.default_deadline_s = default_deadline_s
         handler = type("BoundHandler", (_Handler,), {"server_facade": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         # daemon_threads: an in-flight solve must not block process exit.
@@ -113,11 +118,18 @@ class RefinementServer:
         return int(self._httpd.server_address[1])
 
     def refine(self, request: RefineRequest) -> RefineResponse:
+        if (
+            request.method == "portfolio"
+            and request.deadline_s is None
+            and self.default_deadline_s is not None
+        ):
+            request = dataclasses.replace(request, deadline_s=self.default_deadline_s)
         facade = self.shadow if self.shadow is not None else self.engine
         return facade.refine(request)
 
     def stats(self) -> dict:
         stats: dict = {
+            "default_deadline_s": self.default_deadline_s,
             "requests_served": self.engine.requests_served,
             "coalescer": {
                 "started": self.engine.coalescer.started,

@@ -1,0 +1,144 @@
+"""Fault injection for the portfolio racer: one bad engine never sinks the race.
+
+Three failure modes, each injected through a solver subclass that replaces a
+single engine adapter while the other engines stay real:
+
+* an engine that **raises** — isolated with status ``error`` (the exception
+  text lands in the provenance record) while the race completes;
+* an engine that **hangs** and only exits via cooperative cancellation — the
+  race finishes on the healthy engine's proof and the hung engine parks with
+  status ``cancelled``;
+* an engine that returns an **infeasible candidate** — the verification stage
+  re-evaluates every candidate winner against the database, rejects the lie,
+  demotes the engine to status ``error`` and crowns the next-best candidate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ConstraintSet, at_least
+from repro.core.portfolio import (
+    EngineReport,
+    EngineSpec,
+    PortfolioSolver,
+)
+from repro.core.refinement import Refinement
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def students():
+    bundle = load_dataset("students")
+    constraints = ConstraintSet([at_least(2, 10, Gender="F")])
+    return bundle, constraints
+
+
+class FaultySolver(PortfolioSolver):
+    """A portfolio whose engines labelled boom/hang/liar misbehave on purpose."""
+
+    def _run_engine(self, spec, budget, control, reports):
+        if spec.label == "boom":
+            raise RuntimeError("engine exploded")
+        if spec.label == "hang":
+            # Ignores its budget; exits only via cooperative cancellation.
+            while not control.should_stop("hang"):
+                time.sleep(0.002)
+            return EngineReport(label="hang", method=spec.method, status="cancelled")
+        if spec.label == "liar":
+            # Claims a distance-zero answer backed by the identity refinement,
+            # which does not satisfy the constraints (otherwise no refinement
+            # would be needed at all).
+            return EngineReport(
+                label="liar",
+                method=spec.method,
+                status="incumbent",
+                feasible=True,
+                distance_value=0.0,
+                deviation=0.0,
+                refinement=Refinement(),
+            )
+        return super()._run_engine(spec, budget, control, reports)
+
+
+def race(students, labels, deadline=30.0, **kwargs):
+    bundle, constraints = students
+    engines = [
+        EngineSpec(method="naive+prov", label=label) if label != "healthy"
+        else EngineSpec(method="naive+prov", label="healthy")
+        for label in labels
+    ]
+    solver = FaultySolver(
+        bundle.database,
+        bundle.query,
+        constraints,
+        epsilon=0.5,
+        engines=engines,
+        deadline=deadline,
+        **kwargs,
+    )
+    return solver.solve()
+
+
+def test_raising_engine_is_isolated_and_the_race_completes(students):
+    result = race(students, ["boom", "healthy"])
+    assert result.status == "ok"
+    assert result.winner == "healthy"
+    assert result.proven_optimal
+    boom = result.reports["boom"]
+    assert boom.status == "error"
+    assert boom.error == "RuntimeError: engine exploded"
+    assert not boom.feasible
+    # The failure is part of the provenance record.
+    assert result.race_record()["engines"]["boom"]["error"] == (
+        "RuntimeError: engine exploded"
+    )
+
+
+def test_hanging_engine_is_cancelled_when_the_race_is_decided(students):
+    started = time.monotonic()
+    result = race(students, ["hang", "healthy"])
+    elapsed = time.monotonic() - started
+    assert result.status == "ok"
+    assert result.winner == "healthy"
+    # The healthy engine's proof cancelled the hang; it acknowledged within
+    # the join grace rather than holding the race open.
+    assert result.reports["hang"].status == "cancelled"
+    assert elapsed < 10.0
+
+
+def test_hanging_engine_alone_expires_at_the_deadline(students):
+    deadline = 0.3
+    started = time.monotonic()
+    result = race(students, ["hang"], deadline=deadline)
+    elapsed = time.monotonic() - started
+    assert result.status == "deadline"
+    assert not result.feasible
+    # The acceptance bound: the racer returns within deadline + 0.5s even
+    # when its only engine never reports voluntarily.
+    assert elapsed < deadline + 0.5
+    assert result.reports["hang"].status == "cancelled"
+
+
+def test_infeasible_candidate_is_rejected_and_next_best_wins(students):
+    result = race(students, ["liar", "healthy"])
+    assert result.status == "ok"
+    assert result.winner == "healthy"
+    liar = result.reports["liar"]
+    assert liar.status == "error"
+    assert not liar.feasible
+    assert "violates" in (liar.error or "")
+    # The verified winner carries the healthy engine's true optimum, not the
+    # liar's fantasy distance.
+    assert result.distance_value is not None and result.distance_value > 0.0
+    assert result.deviation is not None and result.deviation <= 0.5 + 1e-9
+
+
+def test_every_engine_failing_yields_error_status(students):
+    result = race(students, ["liar"], deadline=5.0)
+    assert result.status == "error"
+    assert not result.feasible
+    assert result.winner is None
+    assert result.reports["liar"].status == "error"

@@ -1,0 +1,187 @@
+"""Wire-level contracts of ``method="portfolio"``: requests, responses, SLAs.
+
+Covers the deadline knob end to end: request round-trips and validation, the
+coalescer-key regression (a 0.1s and a 30s race are different computations),
+canonical-JSON stability (race provenance is — like timings — excluded), the
+engine facade dispatch, and the server-level default deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import RefinementError
+from repro.service import (
+    ConstraintSpec,
+    RefinementEngine,
+    RefineRequest,
+    RefineResponse,
+)
+from repro.service.server import RefinementServer
+
+CONSTRAINTS = (
+    ConstraintSpec("at_least", 3, 6, (("Gender", "F"),)),
+    ConstraintSpec("at_most", 1, 3, (("Income", "High"),)),
+)
+
+
+def students_request(**overrides) -> RefineRequest:
+    defaults = dict(dataset="students", constraints=CONSTRAINTS, epsilon=0.25)
+    defaults.update(overrides)
+    return RefineRequest(**defaults)
+
+
+class TestRequestWire:
+    def test_round_trip_with_deadline_and_engines(self):
+        request = students_request(
+            method="portfolio",
+            deadline_s=2.5,
+            engines=("milp+opt", "naive+prov"),
+        )
+        data = request.to_dict()
+        assert data["deadline_s"] == 2.5
+        assert data["engines"] == ["milp+opt", "naive+prov"]
+        assert RefineRequest.from_dict(data) == request
+
+    def test_unset_fields_stay_off_the_wire(self):
+        """Pre-portfolio clients see byte-identical request serializations."""
+        data = students_request(method="milp").to_dict()
+        assert "deadline_s" not in data
+        assert "engines" not in data
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(method="portfolio"), "positive deadline_s"),
+            (dict(method="portfolio", deadline_s=0.0), "positive deadline_s"),
+            (dict(method="portfolio", deadline_s=-1.0), "positive deadline_s"),
+            (
+                dict(method="portfolio", deadline_s=1.0, engines=("erica",)),
+                "unknown portfolio engine",
+            ),
+            (dict(method="milp", deadline_s=1.0), "only valid with method='portfolio'"),
+            (
+                dict(method="naive", engines=("milp",)),
+                "only valid with method='portfolio'",
+            ),
+        ],
+    )
+    def test_validation(self, overrides, match):
+        with pytest.raises(RefinementError, match=match):
+            students_request(**overrides).validate()
+
+
+class TestCoalescerKeys:
+    """Regression: the coalescer key must split on the deadline and engines."""
+
+    def test_cache_key_includes_deadline(self):
+        short = students_request(method="portfolio", deadline_s=0.1)
+        long = students_request(method="portfolio", deadline_s=30.0)
+        assert short.cache_key() != long.cache_key()
+        assert short.cache_key() == students_request(
+            method="portfolio", deadline_s=0.1
+        ).cache_key()
+
+    def test_cache_key_includes_engines(self):
+        one = students_request(
+            method="portfolio", deadline_s=1.0, engines=("milp+opt",)
+        )
+        two = students_request(
+            method="portfolio", deadline_s=1.0, engines=("naive+prov",)
+        )
+        assert one.cache_key() != two.cache_key()
+
+    def test_concurrent_races_with_different_deadlines_never_coalesce(
+        self, monkeypatch
+    ):
+        engine = RefinementEngine()
+        release = threading.Event()
+        solved_keys = []
+        original = RefinementEngine._refine
+
+        def slow_refine(self, request):
+            solved_keys.append(request.cache_key())
+            release.wait(timeout=30.0)
+            return original(self, request)
+
+        monkeypatch.setattr(RefinementEngine, "_refine", slow_refine)
+        short = students_request(method="portfolio", deadline_s=0.1)
+        long = students_request(method="portfolio", deadline_s=30.0)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(engine.refine, r) for r in (short, long)]
+            while len(solved_keys) < 2:
+                pass  # both leaders must enter _refine: nothing coalesced
+            release.set()
+            responses = [future.result(timeout=60.0) for future in futures]
+        assert engine.coalescer.started == 2
+        assert engine.coalescer.coalesced == 0
+        assert len(set(solved_keys)) == 2
+        by_deadline = {r.request.deadline_s: r for r in responses}
+        assert set(by_deadline) == {0.1, 30.0}
+
+
+class TestResponseWire:
+    @pytest.fixture(scope="class")
+    def response(self):
+        engine = RefinementEngine()
+        return engine.refine(students_request(method="portfolio", deadline_s=30.0))
+
+    def test_portfolio_response_shape(self, response):
+        assert response.engine == "portfolio"
+        assert response.method == "portfolio"
+        assert response.status == "ok"
+        assert response.feasible
+        assert response.refinement and response.refined_sql
+        assert response.race["winner"] in response.race["engines"]
+        statuses = {
+            record["status"] for record in response.race["engines"].values()
+        }
+        assert statuses <= {"solved", "incumbent", "timeout", "error", "cancelled"}
+        assert response.statistics["deadline_s"] == 30.0
+
+    def test_round_trip_preserves_race(self, response):
+        rebuilt = RefineResponse.from_dict(response.to_dict())
+        assert rebuilt.race == response.race
+        assert rebuilt.canonical_json() == response.canonical_json()
+
+    def test_race_is_excluded_from_canonical_json(self, response):
+        assert "race" in response.to_dict()
+        assert "race" not in response.canonical_dict()
+        # The canonical form must not vary with race-dependent provenance:
+        # the same response stripped of its race canonicalises identically.
+        import dataclasses
+
+        stripped = dataclasses.replace(response, race={}, timings={})
+        assert stripped.canonical_json() == response.canonical_json()
+
+
+class TestServerDefaultDeadline:
+    def test_default_deadline_fills_portfolio_requests(self):
+        engine = RefinementEngine()
+        server = RefinementServer(port=0, engine=engine, default_deadline_s=20.0)
+        try:
+            assert server.stats()["default_deadline_s"] == 20.0
+            response = server.refine(students_request(method="portfolio"))
+            assert response.feasible
+            assert response.request.deadline_s == 20.0
+            # An explicit deadline always wins over the server default.
+            explicit = server.refine(
+                students_request(method="portfolio", deadline_s=15.0)
+            )
+            assert explicit.request.deadline_s == 15.0
+        finally:
+            server._httpd.server_close()
+            engine.sessions.close()
+
+    def test_without_default_an_undated_portfolio_request_is_rejected(self):
+        engine = RefinementEngine()
+        server = RefinementServer(port=0, engine=engine)
+        try:
+            with pytest.raises(RefinementError, match="positive deadline_s"):
+                server.refine(students_request(method="portfolio"))
+        finally:
+            server._httpd.server_close()
+            engine.sessions.close()
