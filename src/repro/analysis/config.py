@@ -29,6 +29,7 @@ class LintConfig:
     wire_forbidden_names: tuple[str, ...] = ()
     env_var_prefix: str = "REPRO_"
     env_var_names: frozenset[str] = frozenset()
+    fault_modules: tuple[str, ...] = ()
 
     def applies_to(self, path: str, suffixes: tuple[str, ...]) -> bool:
         """Whether ``path`` matches one of the registered module suffixes."""
@@ -50,6 +51,7 @@ def default_config() -> LintConfig:
         wire_classes=registry.WIRE_CLASSES,
         wire_forbidden_names=registry.WIRE_FORBIDDEN_NAMES,
         env_var_names=env_registry.registered_names(),
+        fault_modules=registry.FAULT_MODULES,
     )
 
 

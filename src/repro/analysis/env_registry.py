@@ -66,6 +66,60 @@ ENV_VARS: tuple[EnvVar, ...] = (
         "(the dynamic half of repro-lint's `lock-guard` rule).",
     ),
     EnvVar(
+        "REPRO_POOL_MAX_RESTARTS",
+        "2",
+        SCOPE_RUNTIME,
+        "Pool rebuilds the parallel sweep attempts after worker crashes "
+        "before degrading to the serial path (merge parity is preserved "
+        "either way).",
+    ),
+    EnvVar(
+        "REPRO_FAULT_WORKER_CRASH",
+        "(unset)",
+        SCOPE_CI,
+        "Arms the `worker-crash` injection point: a sweep-pool worker dies "
+        "with `os._exit` mid-shard. Value syntax: "
+        "`RATE[,attempts=N]` (see `repro.faults`).",
+    ),
+    EnvVar(
+        "REPRO_FAULT_SQLITE_LOCK",
+        "(unset)",
+        SCOPE_CI,
+        "Arms the `sqlite-lock` injection point: store accesses raise "
+        "`sqlite3.OperationalError: database is locked`. "
+        "Value syntax: `RATE[,attempts=N]`.",
+    ),
+    EnvVar(
+        "REPRO_FAULT_SQLITE_CORRUPT",
+        "(unset)",
+        SCOPE_CI,
+        "Arms the `sqlite-corrupt` injection point: store accesses raise "
+        "`sqlite3.DatabaseError: malformed`, driving the automatic store "
+        "rebuild. Value syntax: `RATE[,attempts=N]`.",
+    ),
+    EnvVar(
+        "REPRO_FAULT_BACKEND_RAISE",
+        "(unset)",
+        SCOPE_CI,
+        "Arms the `backend-raise` injection point: `Model.solve` raises "
+        "`SolverError`, driving the milp -> exhaustive degradation. "
+        "Value syntax: `RATE[,attempts=N]`.",
+    ),
+    EnvVar(
+        "REPRO_FAULT_SLOW_SOLVE",
+        "(unset)",
+        SCOPE_CI,
+        "Arms the `slow-solve` injection point: `Model.solve` sleeps before "
+        "solving. Value syntax: `RATE[,seconds=X]` (default 0.2s).",
+    ),
+    EnvVar(
+        "REPRO_FAULT_SEED",
+        "0",
+        SCOPE_CI,
+        "Seed of the deterministic fault-injection rate draws: the same "
+        "seed, point and key always decide the same way.",
+    ),
+    EnvVar(
         "REPRO_BENCH_SCALE",
         "reduced",
         SCOPE_BENCHMARK,

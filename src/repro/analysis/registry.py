@@ -110,6 +110,14 @@ FORK_PICKLE_EXEMPT: dict[str, str] = {
         "process-wide singleton with explicit os.register_at_fork hooks "
         "(lock held across fork, child re-creates it); never pickled"
     ),
+    "FaultPlan": (
+        "process-local fault-injection plan: workers re-read their own "
+        "REPRO_FAULT_* environment at import, the parent's plan never ships"
+    ),
+    "AdmissionController": (
+        "server-resident front door: owned by RefinementServer, which is "
+        "never pickled; workers never see the admission layer"
+    ),
 }
 
 
@@ -134,6 +142,12 @@ SQL_IDENTIFIER_HELPERS: tuple[str, ...] = ("_quote_identifier",)
 SQL_VALUE_HELPERS: tuple[str, ...] = ("_quote_literal",)
 SQL_VALUE_ATTRIBUTES: tuple[str, ...] = ("constant", "values")
 
+#: Module suffixes allowed to read environment keys *through* the
+#: fault-injection registry (``point.env``) instead of literals; the
+#: ``env-var-registry`` rule compensates by cross-checking every
+#: ``InjectionPoint(env=...)`` declaration in them against the env registry.
+FAULT_MODULES: tuple[str, ...] = ("repro/faults/registry.py",)
+
 #: Module suffix and dataclasses checked by ``wire-stability``.
 WIRE_MODULES: tuple[str, ...] = ("repro/service/engine.py",)
 WIRE_CLASSES: tuple[str, ...] = ("ConstraintSpec", "RefineRequest", "RefineResponse")
@@ -153,6 +167,7 @@ WIRE_FORBIDDEN_NAMES: tuple[str, ...] = (
 
 
 __all__ = [
+    "FAULT_MODULES",
     "FORK_PICKLE_EXEMPT",
     "GuardSpec",
     "HOT_MODULES",

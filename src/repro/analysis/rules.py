@@ -548,11 +548,16 @@ class EnvVarRegistryRule(Rule):
     description = "environment variable missing from analysis/env_registry.py"
     invariant = (
         "every os.environ/getenv key is a REPRO_* name declared in the "
-        "env registry (which generates the README table)"
+        "env registry (which generates the README table); fault modules may "
+        "read keys through the injection-point registry, whose env "
+        "declarations are cross-checked instead"
     )
 
     def check(self, module: ModuleSource, config: LintConfig) -> Iterator[Diagnostic]:
         constants = self._module_constants(module.tree)
+        fault_module = config.applies_to(module.path, config.fault_modules)
+        if fault_module:
+            yield from self._check_injection_declarations(module, config)
         for node in ast.walk(module.tree):
             key_node = None
             if isinstance(node, ast.Call):
@@ -563,6 +568,15 @@ class EnvVarRegistryRule(Rule):
                 if _dotted_name(node.value) == "os.environ":
                     key_node = node.slice
             if key_node is None:
+                continue
+            if (
+                fault_module
+                and isinstance(key_node, ast.Attribute)
+                and key_node.attr == "env"
+            ):
+                # The registry-driven indirection (``point.env``): allowed in
+                # fault modules because every InjectionPoint ``env=`` literal
+                # is cross-checked above against the env registry.
                 continue
             key = self._resolve(key_node, constants)
             if key is None:
@@ -586,6 +600,43 @@ class EnvVarRegistryRule(Rule):
                     f"environment variable {key!r} is not declared in "
                     "analysis/env_registry.py",
                 )
+
+    def _check_injection_declarations(
+        self, module: ModuleSource, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        """Cross-check ``InjectionPoint(env=...)`` literals in fault modules."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _dotted_name(node.func) != "InjectionPoint":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "env":
+                    continue
+                value = keyword.value
+                if not (
+                    isinstance(value, ast.Constant) and isinstance(value.value, str)
+                ):
+                    yield self.diagnostic(
+                        module,
+                        value,
+                        "InjectionPoint env= must be a string literal so the "
+                        "registry rule can check it",
+                    )
+                elif not value.value.startswith(config.env_var_prefix):
+                    yield self.diagnostic(
+                        module,
+                        value,
+                        f"injection point env {value.value!r} is outside the "
+                        f"{config.env_var_prefix}* namespace",
+                    )
+                elif value.value not in config.env_var_names:
+                    yield self.diagnostic(
+                        module,
+                        value,
+                        f"injection point env {value.value!r} is not declared "
+                        "in analysis/env_registry.py",
+                    )
 
     @staticmethod
     def _module_constants(tree: ast.Module) -> dict[str, str]:

@@ -37,7 +37,7 @@ from repro._version import __version__
 from repro.core import CardinalityConstraint, Group, at_least, at_most
 from repro.datasets import load_dataset
 from repro.datasets.registry import DATASET_BUILDERS
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, exit_code_for
 from repro.relational import QueryExecutor, render_sql
 
 
@@ -301,6 +301,7 @@ def _parse_warm_spec(text: str) -> tuple[str, dict]:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.admission import AdmissionController
     from repro.service.engine import RefinementEngine
     from repro.service.server import RefinementServer
     from repro.service.session import SessionPool
@@ -320,6 +321,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             sample_rate=args.shadow_sample_rate,
             seed=args.shadow_seed,
         )
+    admission = AdmissionController(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        queue_timeout_s=args.queue_timeout,
+    )
     server = RefinementServer(
         host=args.host,
         port=args.port,
@@ -327,6 +333,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         shadow=shadow,
         verbose=True,
         default_deadline_s=args.default_deadline,
+        admission=admission,
+        max_body_bytes=args.max_body_bytes,
+        drain_timeout_s=args.drain_timeout,
     )
     for spec in args.warm or []:
         dataset, parameters = _parse_warm_spec(spec)
@@ -403,8 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     refine_parser.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
-        help="wall-clock SLA for --method portfolio: the race returns its "
-        "best verified incumbent when this budget expires",
+        help="end-to-end wall-clock SLA for the request; clamps solver time "
+        "limits, and for --method portfolio bounds the race (which returns "
+        "its best verified incumbent when the budget expires)",
     )
     refine_parser.add_argument(
         "--engines", action="append", metavar="METHOD",
@@ -470,7 +480,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--default-deadline", type=float, default=None, metavar="SECONDS",
-        help="SLA applied to portfolio requests that omit deadline_s",
+        help="end-to-end SLA applied to requests that omit deadline_s "
+        "(covers queueing, session acquisition and the solve)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=4,
+        help="refine requests solved concurrently (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16,
+        help="requests allowed to wait for a slot before 429s (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--queue-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="longest a deadline-less request may wait queued (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="grace period for in-flight solves at shutdown (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--max-body-bytes", type=int, default=1 << 20,
+        help="largest accepted request body; bigger gets a typed 413 "
+        "(default: 1 MiB)",
     )
     serve_parser.add_argument(
         "--shadow-method", default=None,
@@ -526,8 +558,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        # Typed taxonomy on the exit code too: 2 = fatal (bad request,
+        # infeasible model, corrupted store), 3 = retryable (overload,
+        # deadline, transient store/solver faults) — scripts can back off.
+        print(f"error [{error.error_code}]: {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -58,6 +58,10 @@ class NaiveResult:
     search_seconds: float = 0.0
     total_seconds: float = 0.0
     space_size: int = 0
+    #: Sweep pools restarted after worker crashes (parallel runs only).
+    pool_restarts: int = 0
+    #: The sweep's tail ran serially after exhausting the restart budget.
+    degraded_to_serial: bool = False
 
 
 class _BaseExhaustiveSearch:
@@ -148,6 +152,8 @@ class _BaseExhaustiveSearch:
             timed_out=summary.timed_out,
             cancelled=summary.cancelled,
             cutoff_reached=summary.cutoff_reached,
+            pool_restarts=summary.pool_restarts,
+            degraded_to_serial=summary.degraded_to_serial,
             setup_seconds=setup_seconds,
             search_seconds=search_seconds,
             total_seconds=setup_seconds + search_seconds,

@@ -4,10 +4,10 @@
 per-predicate sweeps.  This module shards that space along its *outermost*
 dimension — contiguous runs of the first numerical predicate's candidate
 constants, or of the first categorical attribute's subset chain — and fans the
-shards out over a ``multiprocessing`` pool.  Each worker receives the fully
-prepared search object (fork-inherited on Linux, pickled on spawn-only
-platforms), evaluates its shard with the exact serial hot loop, and sends back
-only a tiny ``ShardOutcome`` (best candidate + bookkeeping); the parent merges
+shards out over a process pool.  Each worker receives the fully prepared
+search object (fork-inherited on Linux, pickled on spawn-only platforms),
+evaluates its shard with the exact serial hot loop, and sends back only a
+tiny ``ShardOutcome`` (best candidate + bookkeeping); the parent merges
 outcomes in shard order with the serial comparison rule, so the merged result
 is the one the serial loop would have produced.
 
@@ -18,12 +18,27 @@ Determinism contract
   ``max_candidates`` budget truncates the very same candidate prefix the
   serial loop examines.
 * The per-shard reduction and the cross-shard merge both use the serial
-  strict-improvement rule (``distance < best - 1e-12``); because every shard
-  is a contiguous block processed in order, the merged winner is the serial
-  winner.
+  strict-improvement rule (``distance < best - 1e-12``).  Outcomes are
+  collected keyed by shard index and merged *in index order* once the sweep
+  ends, so neither completion order nor crash-retry order can change the
+  winner: the merged winner is the serial winner.
 * Timeouts are wall-clock and therefore inherently nondeterministic — exactly
   as in the serial loop.  Workers honour the shared deadline so the pool
   drains promptly.
+
+Fault tolerance
+---------------
+The pool is a ``concurrent.futures.ProcessPoolExecutor`` because it *detects*
+worker death: a crashed worker (OOM kill, segfault, injected
+``REPRO_FAULT_WORKER_CRASH``) surfaces as ``BrokenProcessPool`` instead of a
+hung ``get()``.  On a broken pool the parent harvests every outcome that did
+complete, requeues the unfinished shards with a bumped ``attempt`` counter,
+and retries them on a fresh pool after a capped jittered backoff.  After
+``REPRO_POOL_MAX_RESTARTS`` restarts the sweep *degrades to serial*: the
+parent evaluates the remaining shards in-process, so a pathological pool can
+slow a search down but never change its answer.  Each shard's outcome is
+recorded exactly once (the index-keyed dict), so no shard is ever lost or
+double-counted.
 
 The pool size comes from the ``jobs=`` argument or the ``REPRO_SOLVER_JOBS``
 environment variable; ``jobs=1`` bypasses this module entirely and runs the
@@ -32,14 +47,18 @@ byte-identical serial path.
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import random
 import time
 from collections import deque
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import Iterator
 
+from repro import faults
 from repro.exceptions import ReproError
 
 #: Strict-improvement tolerance shared with the serial search loop.
@@ -53,6 +72,13 @@ _MAX_CHUNK = 64
 #: In-flight tasks per worker; bounds parent-side submission so lazily
 #: generated shard streams (2^d - 1 subsets) are never materialised.
 _WINDOW_PER_JOB = 2
+
+#: Pool restarts tolerated before the sweep degrades to serial.
+_DEFAULT_MAX_RESTARTS = 2
+
+#: Restart backoff: base * 2^(restart-1), capped, with 50-100% jitter.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 0.5
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -78,6 +104,24 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+def resolve_max_restarts() -> int:
+    """Pool restarts tolerated before serial degradation (``REPRO_POOL_MAX_RESTARTS``)."""
+    raw = os.environ.get("REPRO_POOL_MAX_RESTARTS")
+    if raw is None:
+        return _DEFAULT_MAX_RESTARTS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ReproError(
+            f"invalid REPRO_POOL_MAX_RESTARTS={raw!r}: expected a non-negative integer"
+        ) from None
+    if value < 0:
+        raise ReproError(
+            f"invalid REPRO_POOL_MAX_RESTARTS={value}: restarts cannot be negative"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class ShardTask:
     """One contiguous block of the candidate enumeration order.
@@ -86,12 +130,15 @@ class ShardTask:
     of candidates this shard may examine before the global ``max_candidates``
     cap is reached (``None`` = unbounded); ``deadline`` is an absolute
     ``time.time()`` timestamp shared by every shard of one search.
+    ``attempt`` counts pool-crash retries of this shard (0 = first run); the
+    fault plan uses it so an injected transient crash can succeed on retry.
     """
 
     index: int
     first_values: tuple
     budget: int | None
     deadline: float | None
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -120,6 +167,10 @@ def _initialize_worker(payload: bytes | None) -> None:
 
 
 def _run_shard(task: ShardTask) -> ShardOutcome:
+    # Guarded so the injected crash can only ever kill a disposable pool
+    # worker: in the parent (serial degradation) parent_process() is None.
+    if faults.armed() and multiprocessing.parent_process() is not None:
+        faults.fire("worker-crash", key=task.index, attempt=task.attempt)
     return _WORKER_SEARCH.evaluate_shard(task)
 
 
@@ -172,6 +223,41 @@ class SweepSummary:
     cancelled: bool = False
     #: The incumbent matched the proven ``cutoff`` lower bound.
     cutoff_reached: bool = False
+    #: Fresh pools spun up after worker crashes (0 = no crash seen).
+    pool_restarts: int = 0
+    #: The restart budget ran out and the tail of the sweep ran in-process.
+    degraded_to_serial: bool = False
+
+
+def _stop_executor(
+    executor: concurrent.futures.ProcessPoolExecutor | None, *, kill: bool
+) -> None:
+    """Shut a pool down; ``kill`` also terminates workers still mid-shard.
+
+    Unlike ``multiprocessing.Pool``, the executor's context exit *waits* for
+    running futures — a cancelled portfolio race must not hold workers past
+    the decision, so the abandon paths terminate the worker processes
+    directly (the same semantics ``Pool.terminate`` gave the previous
+    implementation).
+    """
+    if executor is None:
+        return
+    if not kill:
+        executor.shutdown(wait=True, cancel_futures=True)
+        return
+    executor.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+
+
+def _restart_backoff_s(restarts: int, deadline: float | None) -> float:
+    """Capped exponential backoff with jitter, clamped to the sweep deadline."""
+    base = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** max(0, restarts - 1)))
+    delay = base * (0.5 + 0.5 * random.random())
+    if deadline is not None:
+        delay = min(delay, max(0.0, deadline - time.time()))
+    return delay
 
 
 def run_sharded_search(
@@ -186,6 +272,11 @@ def run_sharded_search(
     dimension — the identity-only space) so the caller falls back to the
     serial loop.  ``search`` must already be prepared (``_prepare`` run, its
     refinement space attached): workers reuse that state verbatim.
+
+    Worker crashes are retried on fresh pools (``attempt`` bumped each time)
+    and, past the restart budget, the remaining shards are evaluated serially
+    in the parent — the sweep result never depends on which of those paths
+    ran (see the module docstring's determinism contract).
     """
     space = search._space
     if space is None or space.num_dimensions() == 0:
@@ -215,29 +306,67 @@ def run_sharded_search(
     on_incumbent = getattr(search, "_on_incumbent", None)
     cutoff_value = getattr(search, "cutoff_value", None)
 
+    max_restarts = resolve_max_restarts()
+    window = jobs * _WINDOW_PER_JOB
+
     global _WORKER_SEARCH
     state: dict = {"truncated": False}
     tasks = _shard_tasks(space, chunk, tail, max_candidates, deadline, state)
-    best: tuple | None = None
-    examined = 0
-    exhausted = True
-    timed_out = False
+    retry: deque[ShardTask] = deque()
+    outcomes: dict[int, ShardOutcome] = {}
+    stream_best: tuple | None = None
+    stream_dry = False
+    stopped_on_deadline = False
     cancelled = False
     cutoff_reached = False
+    degraded_to_serial = False
+    pool_restarts = 0
+
+    def record(outcome: ShardOutcome) -> None:
+        """File one shard's outcome (exactly once) and feed the racing hooks."""
+        nonlocal stream_best, cutoff_reached
+        outcomes[outcome.index] = outcome
+        if outcome.best is not None and (
+            stream_best is None
+            or outcome.best[0] < stream_best[0] - IMPROVEMENT_EPSILON
+        ):
+            stream_best = outcome.best
+            if on_incumbent is not None:
+                on_incumbent(stream_best[0], stream_best[1], stream_best[2])
+            cutoff = cutoff_value() if cutoff_value is not None else None
+            if cutoff is not None and stream_best[0] <= cutoff + 1e-9:
+                cutoff_reached = True
+
+    def draw() -> ShardTask | None:
+        """Next shard to run: crash retries first, then the lazy stream."""
+        nonlocal stream_dry
+        if retry:
+            return retry.popleft()
+        task = next(tasks, None)
+        if task is None:
+            stream_dry = True
+        return task
+
     _WORKER_SEARCH = search
+    executor: concurrent.futures.ProcessPoolExecutor | None = None
     try:
-        with context.Pool(
-            processes=jobs, initializer=_initialize_worker, initargs=(payload,)
-        ) as pool:
-            window = jobs * _WINDOW_PER_JOB
-            pending: deque = deque()
-            stream_dry = False
-            stopped_on_deadline = False
+        while not (cancelled or cutoff_reached or degraded_to_serial):
+            if executor is None:
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=jobs,
+                    mp_context=context,
+                    initializer=_initialize_worker,
+                    initargs=(payload,),
+                )
+            pending: dict[concurrent.futures.Future, ShardTask] = {}
+            broken = False
             while True:
                 while (
-                    not stream_dry
+                    (retry or not stream_dry)
                     and not stopped_on_deadline
                     and not cutoff_reached
+                    and not cancelled
+                    and not broken
                     and len(pending) < window
                 ):
                     if should_stop is not None and should_stop():
@@ -246,42 +375,100 @@ def run_sharded_search(
                     if deadline is not None and time.time() > deadline:
                         stopped_on_deadline = True
                         break
-                    task = next(tasks, None)
+                    task = draw()
                     if task is None:
-                        stream_dry = True
                         break
-                    pending.append(pool.apply_async(_run_shard, (task,)))
+                    try:
+                        pending[executor.submit(_run_shard, task)] = task
+                    except BrokenProcessPool:
+                        # Pool died between completions; the task never ran.
+                        retry.appendleft(task)
+                        broken = True
                 if cancelled or cutoff_reached:
-                    # Abandon in-flight shards; leaving the with-block
-                    # terminates the pool, so a cancelled race never holds
-                    # workers past the decision.
-                    exhausted = False
                     break
                 if not pending:
                     break
-                outcome: ShardOutcome = pending.popleft().get()
-                examined += outcome.examined
-                timed_out = timed_out or outcome.timed_out
-                if not outcome.exhausted:
-                    exhausted = False
-                if outcome.best is not None and (
-                    best is None or outcome.best[0] < best[0] - IMPROVEMENT_EPSILON
-                ):
-                    best = outcome.best
-                    if on_incumbent is not None:
-                        on_incumbent(best[0], best[1], best[2])
-                    cutoff = cutoff_value() if cutoff_value is not None else None
-                    if cutoff is not None and best[0] <= cutoff + 1e-9:
-                        cutoff_reached = True
-            if state["truncated"]:
-                # The candidate budget ran out with further candidates left.
-                exhausted = False
-            if stopped_on_deadline and next(tasks, None) is not None:
-                exhausted = False
-        if deadline is not None and time.time() > deadline and not exhausted:
-            timed_out = True
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    task = pending.pop(future)
+                    try:
+                        record(future.result())
+                    except BrokenProcessPool:
+                        retry.append(replace(task, attempt=task.attempt + 1))
+                        broken = True
+                if broken:
+                    break
+            if broken:
+                # Harvest stragglers that did finish, requeue the rest, and
+                # decide between a fresh pool and serial degradation.
+                for future, task in pending.items():
+                    if future.done() and not future.cancelled():
+                        try:
+                            record(future.result())
+                            continue
+                        except BrokenProcessPool:
+                            pass
+                    retry.append(replace(task, attempt=task.attempt + 1))
+                _stop_executor(executor, kill=True)
+                executor = None
+                pool_restarts += 1
+                if pool_restarts > max_restarts:
+                    degraded_to_serial = True
+                else:
+                    backoff = _restart_backoff_s(pool_restarts, deadline)
+                    if backoff > 0:
+                        time.sleep(backoff)
+                continue
+            break
+
+        if degraded_to_serial and not (cancelled or cutoff_reached):
+            # Restart budget exhausted: finish the sweep in-process.  Slower,
+            # but the outcome set (and therefore the merge) is identical.
+            while True:
+                if should_stop is not None and should_stop():
+                    cancelled = True
+                    break
+                if deadline is not None and time.time() > deadline:
+                    stopped_on_deadline = True
+                    break
+                task = draw()
+                if task is None:
+                    break
+                record(search.evaluate_shard(task))
+                if cutoff_reached:
+                    break
     finally:
+        _stop_executor(executor, kill=cancelled or cutoff_reached or degraded_to_serial)
         _WORKER_SEARCH = None
+
+    # Deterministic merge: index order + the serial strict-improvement rule,
+    # so completion/retry order cannot influence the winner.
+    best: tuple | None = None
+    examined = 0
+    exhausted = True
+    timed_out = False
+    for index in sorted(outcomes):
+        outcome = outcomes[index]
+        examined += outcome.examined
+        timed_out = timed_out or outcome.timed_out
+        if not outcome.exhausted:
+            exhausted = False
+        if outcome.best is not None and (
+            best is None or outcome.best[0] < best[0] - IMPROVEMENT_EPSILON
+        ):
+            best = outcome.best
+    if state["truncated"]:
+        # The candidate budget ran out with further candidates left.
+        exhausted = False
+    if cancelled or cutoff_reached:
+        # In-flight/unvisited shards were abandoned on purpose.
+        exhausted = False
+    if stopped_on_deadline and (retry or next(tasks, None) is not None):
+        exhausted = False
+    if deadline is not None and time.time() > deadline and not exhausted:
+        timed_out = True
     return SweepSummary(
         best=best,
         examined=examined,
@@ -289,6 +476,8 @@ def run_sharded_search(
         timed_out=timed_out,
         cancelled=cancelled,
         cutoff_reached=cutoff_reached,
+        pool_restarts=pool_restarts,
+        degraded_to_serial=degraded_to_serial,
     )
 
 
@@ -298,5 +487,6 @@ __all__ = [
     "ShardTask",
     "SweepSummary",
     "resolve_jobs",
+    "resolve_max_restarts",
     "run_sharded_search",
 ]

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for chaos testing (``REPRO_FAULT_*``)."""
+
+from repro.faults.registry import (
+    INJECTION_POINTS,
+    PLAN,
+    FaultConfig,
+    FaultPlan,
+    InjectionPoint,
+    armed,
+    fire,
+    refresh,
+    should_fire,
+)
+
+__all__ = [
+    "INJECTION_POINTS",
+    "PLAN",
+    "FaultConfig",
+    "FaultPlan",
+    "InjectionPoint",
+    "armed",
+    "fire",
+    "refresh",
+    "should_fire",
+]

@@ -20,16 +20,22 @@ instead of re-lowering the whole program.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
 
+from repro import faults
 from repro.exceptions import ModelError
 from repro.milp.constraint import ConstraintSense, LinearConstraint
 from repro.milp.expression import LinearExpression, Variable, VariableKind
 from repro.milp.solution import Solution
+
+
+#: Process-wide solve ordinal feeding the fault-injection hooks below.
+_SOLVE_COUNTER = itertools.count()
 
 
 class ObjectiveSense(enum.Enum):
@@ -352,6 +358,14 @@ class Model:
         """
         from repro.milp.solvers import get_solver
 
+        if faults.armed():
+            # Chaos hooks: every backend solve funnels through here, so this
+            # is the one site that can model a slow or crashing solver.  The
+            # process-wide solve counter keys rate-based decisions and lets
+            # `attempts=N` arm only the first N solves.
+            n = next(_SOLVE_COUNTER)
+            faults.fire("slow-solve", key=n, attempt=n)
+            faults.fire("backend-raise", key=n, attempt=n)
         backend = get_solver(solver)
         return backend.solve(self, **options)
 

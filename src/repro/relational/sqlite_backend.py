@@ -35,9 +35,14 @@ and always reloaded).
 from __future__ import annotations
 
 import hashlib
+import os
 import sqlite3
-from typing import Sequence
+import time
+from typing import Callable, Sequence, TypeVar
 
+from repro import faults
+from repro.core.deadline import current_deadline
+from repro.exceptions import StoreCorruptionError, StoreLockedError
 from repro.relational.database import Database
 from repro.relational.predicates import Conjunction, NumericalPredicate
 from repro.relational.query import SPJQuery
@@ -47,6 +52,28 @@ from repro.relational.sqlgen import _quote_identifier, render_where_params
 
 #: Rows sampled (evenly, plus first and last) into a relation fingerprint.
 _FINGERPRINT_SAMPLE = 1024
+
+#: Locked-store retry backoff: base doubles per retry up to the cap.
+_LOCK_RETRY_BASE_S = 0.02
+_LOCK_RETRY_CAP_S = 0.25
+#: Total lock-retry budget when no request deadline is in scope.
+_LOCK_RETRY_DEFAULT_BUDGET_S = 2.0
+#: Automatic store rebuilds tolerated within one guarded operation.
+_MAX_REBUILDS_PER_CALL = 2
+#: Busy timeout (ms) for persistent stores; clamped to the request deadline.
+_BUSY_TIMEOUT_MS = 30000
+
+_T = TypeVar("_T")
+
+
+def _is_lock_error(error: sqlite3.OperationalError) -> bool:
+    message = str(error)
+    return "locked" in message or "busy" in message
+
+
+def _is_corruption_error(error: sqlite3.DatabaseError) -> bool:
+    message = str(error)
+    return "malformed" in message or "not a database" in message
 
 
 def _predicate_parameters(where: Conjunction) -> list:
@@ -96,6 +123,10 @@ class SQLiteExecutor:
         self._persistent = path != ":memory:"
         #: Relations actually (re)loaded by this process (0 on a warm open).
         self.load_count = 0
+        #: Automatic rebuilds performed after corruption detection.
+        self.rebuilds = 0
+        #: Guarded store accesses (also the fault-injection key stream).
+        self._access_count = 0
         #: Loaded relation per table name.  Holding the object itself (not a
         #: bare id) keeps it alive, so a replacement relation can never reuse
         #: the freed object's id and masquerade as the loaded one.
@@ -103,17 +134,23 @@ class SQLiteExecutor:
         self._indexed: set[tuple[str, str]] = set()
         self._sql_cache: dict[tuple, str] = {}
         self._window_functions = sqlite3.sqlite_version_info >= (3, 25, 0)
-        if self._persistent:
-            # Concurrent pool workers may open the file while the parent is
-            # still writing; wait for the writer instead of failing.
-            self.connection.execute("PRAGMA busy_timeout = 30000")
-            self.connection.execute(
-                "CREATE TABLE IF NOT EXISTS __repro_fingerprints "
-                "(name TEXT PRIMARY KEY, fingerprint TEXT)"
-            )
-        for relation in database:
-            self._ensure_relation(relation)
-        self.connection.commit()
+        try:
+            if self._persistent:
+                # Concurrent pool workers may open the file while the parent
+                # is still writing; wait for the writer instead of failing.
+                self.connection.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+                self.connection.execute(
+                    "CREATE TABLE IF NOT EXISTS __repro_fingerprints "
+                    "(name TEXT PRIMARY KEY, fingerprint TEXT)"
+                )
+            for relation in database:
+                self._ensure_relation(relation)
+            self.connection.commit()
+        except sqlite3.DatabaseError as error:
+            # An already-corrupted file on disk: rebuild instead of crashing.
+            if not _is_corruption_error(error):
+                raise
+            self._rebuild()
 
     def close(self) -> None:
         self.connection.close()
@@ -206,6 +243,103 @@ class SQLiteExecutor:
             self._sql_cache.clear()
             self.connection.commit()
 
+    # -- degradation: lock retries and corruption rebuild ------------------------------
+
+    def _guarded(self, what: str, operation: Callable[[], _T]) -> _T:
+        """Run a store operation with lock retries and automatic rebuild.
+
+        A locked store is retried with capped exponential backoff until the
+        ambient request deadline (or a fixed budget without one) runs out,
+        then surfaces as the typed, retryable :class:`StoreLockedError`.  A
+        corrupted store (``database disk image is malformed`` / ``file is not
+        a database``) is rebuilt in place from the source relations — the
+        store is a cache, so rebuilding is always safe — and only becomes
+        :class:`StoreCorruptionError` when rebuilding does not help.
+        """
+        key = self._access_count
+        self._access_count += 1
+        deadline = current_deadline()
+        if deadline is not None and self._persistent:
+            # A waiter must give up in time to answer within the deadline.
+            timeout_ms = max(1, int(min(30.0, deadline.remaining()) * 1000))
+            self.connection.execute(f"PRAGMA busy_timeout = {timeout_ms}")
+        attempt = 0
+        rebuilds_this_call = 0
+        delay = _LOCK_RETRY_BASE_S
+        started = time.monotonic()
+        while True:
+            try:
+                if faults.armed():
+                    faults.fire("sqlite-lock", key=key, attempt=attempt)
+                    faults.fire("sqlite-corrupt", key=key, attempt=attempt)
+                return operation()
+            except sqlite3.OperationalError as error:
+                if not _is_lock_error(error):
+                    raise
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise StoreLockedError(
+                            f"store stayed locked during {what} until the "
+                            "request deadline expired"
+                        ) from error
+                    sleep_s = min(delay, remaining)
+                elif time.monotonic() - started >= _LOCK_RETRY_DEFAULT_BUDGET_S:
+                    raise StoreLockedError(
+                        f"store stayed locked during {what} for "
+                        f"{_LOCK_RETRY_DEFAULT_BUDGET_S:g}s"
+                    ) from error
+                else:
+                    sleep_s = delay
+                time.sleep(sleep_s)
+                delay = min(delay * 2, _LOCK_RETRY_CAP_S)
+                attempt += 1
+            except sqlite3.DatabaseError as error:
+                if not _is_corruption_error(error):
+                    raise
+                if rebuilds_this_call >= _MAX_REBUILDS_PER_CALL:
+                    raise StoreCorruptionError(
+                        f"store stayed corrupted during {what} after "
+                        f"{rebuilds_this_call} rebuild(s)"
+                    ) from error
+                self._rebuild()
+                rebuilds_this_call += 1
+                attempt += 1
+
+    def _rebuild(self) -> None:
+        """Drop the corrupted store and reload it from the source relations."""
+        self.rebuilds += 1
+        try:
+            self.connection.close()
+        except sqlite3.Error:
+            pass
+        if self._persistent:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.remove(self.path + suffix)
+                except FileNotFoundError:
+                    pass
+        try:
+            self.connection = sqlite3.connect(
+                self.path, cached_statements=256, check_same_thread=False
+            )
+            self._loaded.clear()
+            self._indexed.clear()
+            self._sql_cache.clear()
+            if self._persistent:
+                self.connection.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+                self.connection.execute(
+                    "CREATE TABLE IF NOT EXISTS __repro_fingerprints "
+                    "(name TEXT PRIMARY KEY, fingerprint TEXT)"
+                )
+            for relation in self._database:
+                self._ensure_relation(relation)
+            self.connection.commit()
+        except sqlite3.Error as error:
+            raise StoreCorruptionError(
+                f"rebuilding the corrupted store at {self.path!r} failed"
+            ) from error
+
     # -- pushdown execution -----------------------------------------------------------
 
     @property
@@ -221,7 +355,14 @@ class SQLiteExecutor:
         relations, so results are byte-identical to the in-memory engines.
         Predicate constants are bound as statement parameters, so refinement
         candidates of one query shape reuse a single compiled plan.
+
+        Store failures degrade instead of crashing the request: locked
+        stores are retried under the ambient deadline and corruption
+        triggers an automatic rebuild (see :meth:`_guarded`).
         """
+        return self._guarded("pushdown", lambda: self._pushdown_positions(query))
+
+    def _pushdown_positions(self, query: SPJQuery) -> list[tuple[int, ...]]:
         self._ensure_indexes(query)
         sql = self._pushdown_sql(query)
         cursor = self.connection.execute(sql, _predicate_parameters(query.where))
@@ -378,6 +519,9 @@ class SQLiteExecutor:
         The annotation scan then interns one lineage set per combination
         instead of consulting per-predicate atom caches row by row.
         """
+        return self._guarded("annotation scan", lambda: self._annotation_scan(query))
+
+    def _annotation_scan(self, query: SPJQuery) -> list[tuple]:
         _, source, from_parts = self._aliased_join(query.tables)
         attributes = [
             predicate.attribute for predicate in query.categorical_predicates
@@ -399,6 +543,9 @@ class SQLiteExecutor:
         order groups by the best score among their duplicates, matching the
         "keep the better-ranked duplicate" semantics of the in-memory engine.
         """
+        return self._guarded("execute", lambda: self._execute(query))
+
+    def _execute(self, query: SPJQuery) -> list[tuple]:
         cursor = self.connection.cursor()
         sql, parameters = self._render(query)
         cursor.execute(sql, parameters)

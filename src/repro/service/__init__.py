@@ -11,6 +11,9 @@ This subpackage keeps that state alive across requests:
 * :mod:`repro.service.session` — :class:`DatasetSession` (per-dataset warm
   state: shared executor, cached annotation, mask-index data, prepared MILPs)
   and :class:`SessionPool` (an LRU over sessions);
+* :mod:`repro.service.admission` — :class:`AdmissionController` (bounded
+  admission queue + concurrency limiter with typed 429/503 shedding and
+  draining shutdown);
 * :mod:`repro.service.coalesce` — :class:`RequestCoalescer` (identical
   in-flight requests share one computation);
 * :mod:`repro.service.server` — the threaded HTTP/JSON front end behind the
@@ -19,6 +22,7 @@ This subpackage keeps that state alive across requests:
   rollout facade with a ``shadow_sample_rate``.
 """
 
+from repro.service.admission import AdmissionController
 from repro.service.coalesce import RequestCoalescer
 from repro.service.engine import (
     ConstraintSpec,
@@ -31,6 +35,7 @@ from repro.service.session import DatasetSession, SessionPool
 from repro.service.shadow import ShadowEngine, ShadowReport
 
 __all__ = [
+    "AdmissionController",
     "ConstraintSpec",
     "DatasetSession",
     "RefineRequest",

@@ -1,0 +1,200 @@
+"""Admission control: a bounded queue and concurrency limiter for the engine.
+
+Every refine request passes through :class:`AdmissionController` before any
+solve starts.  At most ``max_concurrency`` requests compute at once; up to
+``max_queue`` more wait for a slot (bounded by their own deadline and the
+``queue_timeout_s`` cap); everything beyond that is *shed* immediately with a
+typed, retryable error — the overload-control stance that a fast 429/503 with
+``Retry-After`` beats a slow timeout:
+
+* queue full → :class:`~repro.exceptions.QueueFullError` (HTTP 429);
+* queued past the budget → :class:`~repro.exceptions.AdmissionTimeoutError`
+  (HTTP 503);
+* server draining for shutdown → :class:`~repro.exceptions.DrainingError`
+  (HTTP 503).
+
+Shutdown is *draining*: :meth:`begin_drain` sheds new arrivals while
+:meth:`drain` waits for in-flight work to finish, so a restart never kills a
+solve mid-flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.deadline import Deadline
+from repro.exceptions import (
+    AdmissionTimeoutError,
+    DrainingError,
+    QueueFullError,
+)
+
+#: Concurrent solves admitted by default (solves share one machine).
+DEFAULT_MAX_CONCURRENCY = 4
+#: Requests allowed to wait for a slot before shedding starts.
+DEFAULT_MAX_QUEUE = 16
+#: Longest a request may wait queued when it carries no deadline.
+DEFAULT_QUEUE_TIMEOUT_S = 10.0
+#: ``Retry-After`` hint attached to shed responses.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+class AdmissionController:
+    """Counting semaphore + bounded wait queue with typed shedding.
+
+    All state (``_active``, ``_queued``, ``_draining`` and the counters) is
+    guarded by ``_lock``, which also backs the condition variable waiters
+    block on.  :meth:`admit` is a context manager: the slot is held for the
+    duration of the ``with`` body and released (waking one waiter) on exit,
+    error or not.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        queue_timeout_s: float = DEFAULT_QUEUE_TIMEOUT_S,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._active = 0
+        self._queued = 0
+        self._draining = False
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_timeout = 0
+        self.shed_draining = 0
+
+    # -- admission --------------------------------------------------------------------
+
+    def _shed(self, error: QueueFullError | AdmissionTimeoutError | DrainingError) -> None:
+        """Attach the back-off hint and raise (counters already updated)."""
+        error.retry_after_s = self.retry_after_s
+        raise error
+
+    def _acquire(self, deadline: Deadline | None) -> None:
+        with self._slot_freed:
+            if self._draining:
+                self.shed_draining += 1
+                self._shed(DrainingError("server is draining; retry elsewhere"))
+            if self._active < self.max_concurrency:
+                self._active += 1
+                self.admitted += 1
+                return
+            if self._queued >= self.max_queue:
+                self.shed_queue_full += 1
+                self._shed(
+                    QueueFullError(
+                        f"admission queue is full ({self._queued} waiting, "
+                        f"{self._active} active)"
+                    )
+                )
+            self._queued += 1
+            # The wait is bounded by whichever is tighter: the queue-wait cap
+            # or the request's own end-to-end deadline (both monotonic).
+            expires_at = time.monotonic() + self.queue_timeout_s
+            if deadline is not None:
+                expires_at = min(expires_at, deadline.expires_at)
+            try:
+                while True:
+                    if self._draining:
+                        self.shed_draining += 1
+                        self._shed(DrainingError("server is draining; retry elsewhere"))
+                    if self._active < self.max_concurrency:
+                        self._active += 1
+                        self.admitted += 1
+                        return
+                    remaining = expires_at - time.monotonic()
+                    if remaining <= 0:
+                        self.shed_timeout += 1
+                        self._shed(
+                            AdmissionTimeoutError(
+                                "queued past the request budget without a free slot"
+                            )
+                        )
+                    self._slot_freed.wait(timeout=remaining)
+            finally:
+                self._queued -= 1
+
+    def _release(self) -> None:
+        with self._slot_freed:
+            self._active -= 1
+            # notify_all, not notify: a drainer waiting for ``active == 0``
+            # shares this condition with queued requests, and waking only one
+            # waiter could starve it.  The queue is bounded, so this is cheap.
+            self._slot_freed.notify_all()
+
+    @contextmanager
+    def admit(self, deadline: Deadline | None = None) -> Iterator[None]:
+        """Hold one concurrency slot for the duration of the block."""
+        self._acquire(deadline)
+        try:
+            yield
+        finally:
+            self._release()
+
+    # -- draining shutdown ------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Shed new arrivals from now on; in-flight work keeps its slots."""
+        with self._slot_freed:
+            self._draining = True
+            self._slot_freed.notify_all()
+
+    def drain(self, timeout_s: float) -> bool:
+        """Wait (up to ``timeout_s``) for in-flight work to finish.
+
+        Returns ``True`` when the controller emptied out — callers that get
+        ``False`` proceed with shutdown anyway; daemon worker threads are
+        abandoned rather than blocked on forever.
+        """
+        self.begin_drain()
+        waited_until = time.monotonic() + timeout_s
+        with self._slot_freed:
+            while self._active > 0:
+                remaining = waited_until - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._slot_freed.wait(timeout=remaining)
+            return True
+
+    @property
+    def draining(self) -> bool:
+        with self._slot_freed:
+            return self._draining
+
+    # -- observability ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int | bool]:
+        with self._slot_freed:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "active": self._active,
+                "queued": self._queued,
+                "draining": self._draining,
+                "admitted": self.admitted,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_timeout": self.shed_timeout,
+                "shed_draining": self.shed_draining,
+            }
+
+
+__all__ = [
+    "DEFAULT_MAX_CONCURRENCY",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_QUEUE_TIMEOUT_S",
+    "AdmissionController",
+]

@@ -16,6 +16,7 @@ import threading
 from typing import Any, Callable, Hashable, TypeVar
 
 from repro.analysis.debug_locks import guard_mapping
+from repro.exceptions import DeadlineExceeded
 
 T = TypeVar("T")
 
@@ -39,6 +40,14 @@ class RequestCoalescer:
     finishes and returns its result.  A leader's exception propagates to every
     waiter (the same exception object — tracebacks point at the leader).
 
+    Failure semantics: a raising leader removes the in-flight entry *before*
+    waking the waiters (the ``finally`` below), so the key is never poisoned —
+    the next request with the same key starts a fresh computation.  A waiter
+    given a ``timeout`` (its own request deadline) that expires before the
+    leader finishes raises the typed
+    :class:`~repro.exceptions.DeadlineExceeded`; the leader and the other
+    waiters are untouched.
+
     The counters make coalescing observable (and testable): ``started`` is
     the number of computations actually run, ``coalesced`` the number of
     requests that joined an in-flight one.
@@ -52,7 +61,12 @@ class RequestCoalescer:
         self.started = 0
         self.coalesced = 0
 
-    def run(self, key: Hashable, compute: Callable[[], T]) -> T:
+    def run(
+        self,
+        key: Hashable,
+        compute: Callable[[], T],
+        timeout: float | None = None,
+    ) -> T:
         with self._lock:
             entry = self._inflight.get(key)
             if entry is None:
@@ -74,7 +88,11 @@ class RequestCoalescer:
                     self._inflight.pop(key, None)
                 entry.done.set()
         else:
-            entry.done.wait()
+            if not entry.done.wait(timeout):
+                raise DeadlineExceeded(
+                    "request deadline expired while waiting on a coalesced "
+                    "in-flight computation"
+                )
             if entry.error is not None:
                 raise entry.error
         return entry.result

@@ -20,7 +20,7 @@ Identical in-flight requests are coalesced into one computation
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
 from repro.core.constraints import (
@@ -38,9 +38,10 @@ from repro.core.portfolio import (
     EngineSpec,
     PortfolioSolver,
 )
+from repro.core.deadline import Deadline, current_deadline, deadline_scope
 from repro.core.solver import RefinementSolver
 from repro.datasets.registry import DATASET_BUILDERS
-from repro.exceptions import RefinementError
+from repro.exceptions import InfeasibleError, RefinementError, SolverError
 from repro.relational.sqlgen import render_sql
 from repro.service.coalesce import RequestCoalescer
 from repro.service.session import DatasetSession, SessionPool
@@ -50,6 +51,10 @@ METHODS = ("naive", "naive+prov", "milp", "milp+opt", "erica", "portfolio")
 
 #: Dataset-builder parameters a request may override.
 DATASET_PARAMETERS = ("num_rows", "scale_factor", "seed")
+
+#: Wall-clock cap on an exhaustive fallback solve when the degraded request
+#: carries neither a time limit nor a deadline (never run unbounded).
+DEGRADED_FALLBACK_BUDGET_S = 30.0
 
 
 @dataclass(frozen=True)
@@ -138,7 +143,10 @@ class RefineRequest:
     max_candidates: int | None = None
     num_solutions: int = 1
     output_size: int | None = None
-    #: Wall-clock SLA of a ``method="portfolio"`` race, in seconds.
+    #: End-to-end wall-clock SLA of the request, in seconds.  Required for
+    #: ``method="portfolio"`` (the race budget); optional everywhere else,
+    #: where it clamps the solver's ``time_limit`` and bounds queueing,
+    #: session acquisition and store retries.
     deadline_s: float | None = None
     #: Engine methods a ``portfolio`` request races (empty = the default
     #: portfolio).
@@ -176,8 +184,12 @@ class RefineRequest:
             )
         if self.num_solutions < 1:
             raise RefinementError("num_solutions must be at least 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise RefinementError(
+                "deadline_s must be positive (the request's wall-clock SLA)"
+            )
         if self.method == "portfolio":
-            if self.deadline_s is None or self.deadline_s <= 0:
+            if self.deadline_s is None:
                 raise RefinementError(
                     "method='portfolio' needs a positive deadline_s "
                     "(the race's wall-clock SLA)"
@@ -188,16 +200,8 @@ class RefineRequest:
                         f"unknown portfolio engine {name!r}; "
                         f"available: {list(PORTFOLIO_METHODS)}"
                     )
-        else:
-            if self.deadline_s is not None:
-                raise RefinementError(
-                    "deadline_s is only valid with method='portfolio' "
-                    "(use time_limit for single-engine budgets)"
-                )
-            if self.engines:
-                raise RefinementError(
-                    "engines is only valid with method='portfolio'"
-                )
+        elif self.engines:
+            raise RefinementError("engines is only valid with method='portfolio'")
 
     # -- identity -------------------------------------------------------------------
 
@@ -404,14 +408,49 @@ class RefinementEngine:
         """Computations actually run (requests minus coalesced joins)."""
         return self.coalescer.started
 
-    def refine(self, request: RefineRequest) -> RefineResponse:
+    def refine(
+        self, request: RefineRequest, deadline: Deadline | None = None
+    ) -> RefineResponse:
+        """Solve ``request``, bounded end-to-end by ``deadline``.
+
+        Without an explicit ``deadline`` (the serving layer passes the one it
+        started at admission time, which already accounts for queueing), a
+        request carrying ``deadline_s`` gets a fresh budget here so the CLI
+        path is bounded too.  The deadline travels ambiently
+        (:func:`~repro.core.deadline.deadline_scope`) to every layer below:
+        session acquisition, solver cutoffs, store retries.  A coalesced
+        waiter waits at most its own remaining budget — a slow leader cannot
+        hold it past its SLA.
+        """
         request.validate()
         self.requests_served += 1
-        return self.coalescer.run(request.cache_key(), lambda: self._refine(request))
+        if deadline is None and request.deadline_s is not None:
+            deadline = Deadline.after(request.deadline_s)
+        timeout = None if deadline is None else deadline.remaining()
+
+        def compute() -> RefineResponse:
+            with deadline_scope(deadline):
+                return self._refine(request)
+
+        return self.coalescer.run(request.cache_key(), compute, timeout=timeout)
 
     # -- dispatch -------------------------------------------------------------------
 
+    @staticmethod
+    def _clamped_limit(limit: float | None, what: str) -> float | None:
+        """``limit`` bounded by the ambient deadline (which must not be spent)."""
+        deadline = current_deadline()
+        if deadline is None:
+            return limit
+        deadline.require(what)
+        return deadline.clamp(limit)
+
     def _refine(self, request: RefineRequest) -> RefineResponse:
+        ambient = current_deadline()
+        if ambient is not None:
+            # Queueing may have eaten the whole budget; fail before the
+            # (potentially expensive) session build, not after.
+            ambient.require("session acquisition")
         session = self.sessions.get(request.dataset, dict(request.dataset_parameters))
         if request.method == "portfolio":
             return self._refine_portfolio(session, request)
@@ -425,6 +464,10 @@ class RefinementEngine:
         self, session: DatasetSession, request: RefineRequest
     ) -> RefineResponse:
         assert request.deadline_s is not None  # validate() enforced this
+        # The race budget is the *remaining* end-to-end budget: queueing and
+        # session acquisition already spent part of the SLA.
+        race_budget = self._clamped_limit(request.deadline_s, "the portfolio race")
+        assert race_budget is not None
         specs = tuple(
             EngineSpec(
                 method=name,
@@ -441,7 +484,7 @@ class RefinementEngine:
             epsilon=request.epsilon,
             distance=request.distance,
             engines=specs,
-            deadline=request.deadline_s,
+            deadline=race_budget,
             executor=session.executor,
             annotated=session.annotated(),
             mask_data=session.mask_data(),
@@ -456,7 +499,10 @@ class RefinementEngine:
             feasible=result.feasible,
             statistics={
                 "engines": [spec.label for spec in specs],
-                "deadline_s": result.deadline,
+                # The *requested* SLA, not the clamped race budget: the
+                # canonical response must stay byte-stable across serving
+                # conditions (queue wait varies run to run).
+                "deadline_s": request.deadline_s,
             },
             timings={"elapsed_seconds": result.elapsed},
             race=result.race_record(),
@@ -471,6 +517,41 @@ class RefinementEngine:
         return response
 
     def _refine_milp(self, session: DatasetSession, request: RefineRequest) -> RefineResponse:
+        """MILP solve with graceful degradation to the exhaustive engine.
+
+        A failing backend (:class:`SolverError`, e.g. an injected or real
+        crash inside the solver) is not the request's fault: the same problem
+        is re-dispatched to the matching exhaustive baseline (``milp`` →
+        ``naive``, ``milp+opt`` → ``naive+prov``) under the remaining budget,
+        and the degradation is recorded in ``statistics["degraded"]``.  A
+        *proven-infeasible* model is an answer, not a failure — it never
+        degrades.
+        """
+        try:
+            return self._refine_milp_direct(session, request)
+        except InfeasibleError:
+            raise
+        except SolverError as error:
+            fallback = "naive+prov" if request.method == "milp+opt" else "naive"
+            budget = request.time_limit
+            if budget is None and current_deadline() is None:
+                # Never run the fallback unbounded on an un-deadlined request.
+                budget = DEGRADED_FALLBACK_BUDGET_S
+            degraded = replace(request, method=fallback, time_limit=budget)
+            response = self._refine_exhaustive(session, degraded)
+            # The wire response keeps the *original* request identity.
+            response.request = request
+            response.statistics["degraded"] = {
+                "from": request.method,
+                "to": fallback,
+                "reason": str(error),
+                "code": error.error_code,
+            }
+            return response
+
+    def _refine_milp_direct(
+        self, session: DatasetSession, request: RefineRequest
+    ) -> RefineResponse:
         solver = RefinementSolver(
             session.database,
             session.query,
@@ -479,7 +560,7 @@ class RefinementEngine:
             distance=request.distance,
             method=request.method,
             backend=request.backend,
-            time_limit=request.time_limit,
+            time_limit=self._clamped_limit(request.time_limit, "the MILP solve"),
             executor=session.executor,
             annotated=session.annotated(),
         )
@@ -518,7 +599,7 @@ class RefinementEngine:
         kwargs: dict[str, Any] = dict(
             epsilon=request.epsilon,
             distance=request.distance,
-            timeout=request.time_limit,
+            timeout=self._clamped_limit(request.time_limit, "the exhaustive search"),
             max_candidates=request.max_candidates,
             jobs=request.jobs,
             executor=session.executor,
@@ -571,7 +652,8 @@ class RefinementEngine:
             annotated=session.annotated(),
         )
         result = baseline.solve(
-            num_solutions=request.num_solutions, time_limit=request.time_limit
+            num_solutions=request.num_solutions,
+            time_limit=self._clamped_limit(request.time_limit, "the erica solve"),
         )
         response = RefineResponse(
             request=request,

@@ -17,6 +17,7 @@ import random
 import threading
 from dataclasses import dataclass, field, replace
 
+from repro.core.deadline import Deadline
 from repro.service.engine import RefinementEngine, RefineRequest, RefineResponse
 
 #: Distances are compared after rounding: the two engines may legitimately
@@ -124,8 +125,12 @@ class ShadowEngine:
                 return True
             return self._rng.random() < self.sample_rate
 
-    def refine(self, request: RefineRequest) -> RefineResponse:
-        response = self.engine.refine(request)
+    def refine(
+        self, request: RefineRequest, deadline: Deadline | None = None
+    ) -> RefineResponse:
+        response = self.engine.refine(request, deadline=deadline)
+        # The shadow re-run is best-effort observation: it deliberately runs
+        # outside the caller's deadline (its duration is never on the SLA).
         if not self._should_sample() or request.method == self.shadow_method:
             return response
         shadow_request = replace(request, method=self.shadow_method)

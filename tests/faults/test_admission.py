@@ -1,0 +1,137 @@
+"""Admission control: bounded queue, typed shedding, draining shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.deadline import Deadline
+from repro.exceptions import (
+    AdmissionTimeoutError,
+    DrainingError,
+    QueueFullError,
+)
+from repro.service.admission import AdmissionController
+
+
+class _Held:
+    """Occupy every concurrency slot of a controller until released."""
+
+    def __init__(self, controller: AdmissionController, slots: int) -> None:
+        self.release = threading.Event()
+        self.occupied = threading.Barrier(slots + 1)
+        self.threads = [
+            threading.Thread(target=self._hold, args=(controller,), daemon=True)
+            for _ in range(slots)
+        ]
+        for thread in self.threads:
+            thread.start()
+        self.occupied.wait(timeout=5.0)
+
+    def _hold(self, controller: AdmissionController) -> None:
+        with controller.admit():
+            self.occupied.wait(timeout=5.0)
+            self.release.wait(timeout=10.0)
+
+    def done(self) -> None:
+        self.release.set()
+        for thread in self.threads:
+            thread.join(timeout=5.0)
+
+
+def test_admits_up_to_concurrency_then_queues_then_sheds():
+    controller = AdmissionController(
+        max_concurrency=2, max_queue=0, queue_timeout_s=0.2
+    )
+    held = _Held(controller, slots=2)
+    try:
+        with pytest.raises(QueueFullError) as caught:
+            with controller.admit():
+                pass
+        assert caught.value.retry_after_s == controller.retry_after_s
+        assert caught.value.http_status == 429
+        assert caught.value.retryable
+    finally:
+        held.done()
+    stats = controller.stats()
+    assert stats["admitted"] == 2
+    assert stats["shed_queue_full"] == 1
+    assert stats["active"] == 0
+
+
+def test_queue_timeout_sheds_typed():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=4, queue_timeout_s=0.1
+    )
+    held = _Held(controller, slots=1)
+    try:
+        started = time.monotonic()
+        with pytest.raises(AdmissionTimeoutError):
+            with controller.admit():
+                pass
+        assert time.monotonic() - started < 2.0
+        assert controller.stats()["shed_timeout"] == 1
+    finally:
+        held.done()
+
+
+def test_request_deadline_bounds_the_queue_wait():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=4, queue_timeout_s=30.0
+    )
+    held = _Held(controller, slots=1)
+    try:
+        started = time.monotonic()
+        with pytest.raises(AdmissionTimeoutError):
+            with controller.admit(Deadline.after(0.1)):
+                pass
+        assert time.monotonic() - started < 2.0
+    finally:
+        held.done()
+
+
+def test_queued_request_gets_the_freed_slot():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=4, queue_timeout_s=10.0
+    )
+    held = _Held(controller, slots=1)
+    admitted = threading.Event()
+
+    def queued():
+        with controller.admit():
+            admitted.set()
+
+    waiter = threading.Thread(target=queued, daemon=True)
+    waiter.start()
+    time.sleep(0.05)  # let the waiter queue up
+    held.done()
+    assert admitted.wait(timeout=5.0)
+    waiter.join(timeout=5.0)
+    assert controller.stats()["admitted"] == 2
+
+
+def test_draining_sheds_new_arrivals_and_waits_for_active():
+    controller = AdmissionController(max_concurrency=2)
+    held = _Held(controller, slots=1)
+    controller.begin_drain()
+    with pytest.raises(DrainingError):
+        with controller.admit():
+            pass
+    assert not controller.drain(timeout_s=0.05)  # one request still active
+
+    def finish_later():
+        time.sleep(0.1)
+        held.done()
+
+    threading.Thread(target=finish_later, daemon=True).start()
+    assert controller.drain(timeout_s=5.0)
+    assert controller.stats()["shed_draining"] == 1
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        AdmissionController(max_concurrency=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=-1)

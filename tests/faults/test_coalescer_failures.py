@@ -1,0 +1,89 @@
+"""RequestCoalescer failure semantics: raising leaders and expiring waiters.
+
+The audited contract (see the class docstring): a leader's exception reaches
+every waiter as the same object, the key is never poisoned (the next request
+computes afresh), and a waiter whose own deadline expires gets the typed
+:class:`DeadlineExceeded` without disturbing the leader.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import DeadlineExceeded
+from repro.service.coalesce import RequestCoalescer
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+def test_leader_error_reaches_waiters_and_key_is_not_poisoned():
+    coalescer = RequestCoalescer()
+    leader_entered = threading.Event()
+    release_leader = threading.Event()
+    failure = _Boom("leader failed")
+    caught: list[BaseException] = []
+
+    def failing_compute():
+        leader_entered.set()
+        assert release_leader.wait(timeout=5.0)
+        raise failure
+
+    def leader():
+        try:
+            coalescer.run("key", failing_compute)
+        except _Boom as error:
+            caught.append(error)
+
+    def waiter():
+        try:
+            coalescer.run("key", lambda: pytest.fail("waiter must not compute"))
+        except _Boom as error:
+            caught.append(error)
+
+    leader_thread = threading.Thread(target=leader, daemon=True)
+    leader_thread.start()
+    assert leader_entered.wait(timeout=5.0)
+    waiter_thread = threading.Thread(target=waiter, daemon=True)
+    waiter_thread.start()
+    while coalescer.coalesced == 0 and waiter_thread.is_alive():
+        pass  # the waiter registers, then blocks on the leader
+    release_leader.set()
+    leader_thread.join(timeout=5.0)
+    waiter_thread.join(timeout=5.0)
+
+    # Both saw the *same* exception object (tracebacks point at the leader).
+    assert caught == [failure, failure]
+    # The key is clean: a new request computes afresh instead of re-raising.
+    assert coalescer.run("key", lambda: "recovered") == "recovered"
+    assert coalescer.started == 2
+
+
+def test_waiter_deadline_expires_typed_without_touching_the_leader():
+    coalescer = RequestCoalescer()
+    leader_entered = threading.Event()
+    release_leader = threading.Event()
+    leader_result: list[str] = []
+
+    def slow_compute():
+        leader_entered.set()
+        assert release_leader.wait(timeout=5.0)
+        return "slow answer"
+
+    def leader():
+        leader_result.append(coalescer.run("key", slow_compute))
+
+    leader_thread = threading.Thread(target=leader, daemon=True)
+    leader_thread.start()
+    assert leader_entered.wait(timeout=5.0)
+
+    with pytest.raises(DeadlineExceeded):
+        coalescer.run("key", lambda: "unused", timeout=0.05)
+
+    release_leader.set()
+    leader_thread.join(timeout=5.0)
+    assert leader_result == ["slow answer"]
+    assert coalescer.coalesced == 1

@@ -1,0 +1,69 @@
+"""MILP backend failure degrades to the exhaustive engine, recorded and typed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeadlineExceeded
+from repro.service.engine import ConstraintSpec, RefinementEngine, RefineRequest
+
+
+def _request(method: str, **overrides) -> RefineRequest:
+    values = dict(
+        dataset="students",
+        constraints=(
+            ConstraintSpec(kind="at_least", bound=3, k=6, group=(("Gender", "F"),)),
+        ),
+        epsilon=0.0,
+        method=method,
+    )
+    values.update(overrides)
+    return RefineRequest(**values)
+
+
+@pytest.fixture
+def engine():
+    built = RefinementEngine()
+    yield built
+    built.sessions.close()
+
+
+@pytest.mark.parametrize(
+    "method, fallback",
+    [("milp", "naive"), ("milp+opt", "naive+prov")],
+)
+def test_backend_failure_degrades_to_exhaustive(engine, fault_env, method, fallback):
+    reference = engine.refine(_request(fallback))
+
+    fault_env(REPRO_FAULT_BACKEND_RAISE="1.0")
+    response = engine.refine(_request(method))
+
+    assert response.engine == "exhaustive"
+    assert response.request.method == method  # original request identity kept
+    degraded = response.statistics["degraded"]
+    assert degraded["from"] == method
+    assert degraded["to"] == fallback
+    assert degraded["code"] == "solver"
+    assert "injected" in degraded["reason"]
+    # The degraded answer is the exhaustive engine's answer.
+    assert response.feasible == reference.feasible
+    assert response.refinement == reference.refinement
+    assert response.distance_value == reference.distance_value
+
+
+def test_no_fault_means_no_degradation_marker(engine):
+    response = engine.refine(_request("milp"))
+    assert response.engine == "milp"
+    assert "degraded" not in response.statistics
+
+
+def test_expired_deadline_is_typed_before_the_solve(engine):
+    with pytest.raises(DeadlineExceeded):
+        engine.refine(_request("milp", deadline_s=1e-9))
+
+
+def test_slow_solve_injection_fires(engine, fault_env):
+    plan = fault_env(REPRO_FAULT_SLOW_SOLVE="1.0,seconds=0.01")
+    response = engine.refine(_request("milp"))
+    assert response.engine == "milp"
+    assert plan.fired["slow-solve"] >= 1

@@ -1,0 +1,70 @@
+"""Worker-pool resilience: crashed workers never change a sweep's answer.
+
+The determinism contract of ``core/parallel.py`` under injected
+``worker-crash`` faults: a transient crash is retried on a fresh pool, a
+permanent crash degrades the sweep to the serial path — and in both cases the
+merged result is byte-identical to an unfaulted serial run (no shard lost, no
+shard double-counted).
+"""
+
+from __future__ import annotations
+
+from repro.core import ConstraintSet, NaiveProvenanceSearch, at_least
+from repro.datasets import load_dataset
+
+_CANDIDATE_CAP = 200
+
+
+def _search(bundle, jobs):
+    return NaiveProvenanceSearch(
+        bundle.database,
+        bundle.query,
+        ConstraintSet([at_least(2, 10, Gender="F")]),
+        max_candidates=_CANDIDATE_CAP,
+        jobs=jobs,
+    )
+
+
+def _signature(result):
+    return (
+        result.feasible,
+        result.refinement,
+        result.distance_value,
+        result.deviation,
+        result.candidates_examined,
+        result.exhausted,
+        result.timed_out,
+    )
+
+
+def test_transient_crash_retries_and_preserves_parity(fault_env):
+    bundle = load_dataset("students")
+    serial = _search(bundle, jobs=1).search()
+
+    fault_env(REPRO_FAULT_WORKER_CRASH="1.0,attempts=1")
+    crashed = _search(bundle, jobs=2).search()
+
+    assert crashed.pool_restarts >= 1
+    assert _signature(crashed) == _signature(serial)
+
+
+def test_permanent_crash_degrades_to_serial_with_parity(fault_env):
+    bundle = load_dataset("students")
+    serial = _search(bundle, jobs=1).search()
+
+    fault_env(
+        REPRO_FAULT_WORKER_CRASH="1.0",
+        REPRO_POOL_MAX_RESTARTS="1",
+    )
+    crashed = _search(bundle, jobs=2).search()
+
+    assert crashed.degraded_to_serial
+    assert crashed.pool_restarts == 2  # the budget (1) + the final break
+    assert _signature(crashed) == _signature(serial)
+
+
+def test_unfaulted_pool_reports_no_restarts(disarmed):
+    bundle = load_dataset("students")
+    result = _search(bundle, jobs=2).search()
+    assert result.pool_restarts == 0
+    assert not result.degraded_to_serial

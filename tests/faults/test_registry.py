@@ -1,0 +1,108 @@
+"""The fault-injection registry: arming grammar, determinism, zero overhead."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.analysis import env_registry
+from repro.exceptions import ReproError
+from repro.faults.registry import _SEED_ENV, FaultPlan
+
+#: Spec grammar cases: env value -> (rate, attempts, seconds).
+_GRAMMAR = {
+    "1.0": (1.0, None, 0.2),
+    "0.25": (0.25, None, 0.2),
+    "1.0,attempts=2": (1.0, 2, 0.2),
+    "0.5,seconds=0.4": (0.5, None, 0.4),
+    "1.0,attempts=1,seconds=0.05": (1.0, 1, 0.05),
+}
+
+
+class TestArmingGrammar:
+    @pytest.mark.parametrize("raw", sorted(_GRAMMAR))
+    def test_spec_parses(self, fault_env, raw):
+        plan = fault_env(REPRO_FAULT_SLOW_SOLVE=raw)
+        config = plan.armed_points()["slow-solve"]
+        rate, attempts, seconds = _GRAMMAR[raw]
+        assert (config.rate, config.attempts, config.seconds) == (
+            rate,
+            attempts,
+            seconds,
+        )
+
+    @pytest.mark.parametrize(
+        "raw, match",
+        [
+            ("fast", "must be a rate"),
+            ("1.5", "within \\[0, 1\\]"),
+            ("-0.1", "within \\[0, 1\\]"),
+            ("1.0,attempts", "expected name=value"),
+            ("1.0,retries=3", "unknown parameter"),
+            ("1.0,attempts=two", "bad value"),
+        ],
+    )
+    def test_bad_spec_raises_typed(self, fault_env, raw, match):
+        with pytest.raises(ReproError, match=match):
+            fault_env(REPRO_FAULT_SLOW_SOLVE=raw)
+
+    def test_rate_zero_means_disarmed(self, fault_env):
+        plan = fault_env(REPRO_FAULT_SLOW_SOLVE="0.0")
+        assert not plan.armed
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self, fault_env):
+        plan = fault_env(REPRO_FAULT_SQLITE_LOCK="0.5")
+        first = [plan.should_fire("sqlite-lock", key=k) for k in range(64)]
+        second = [plan.should_fire("sqlite-lock", key=k) for k in range(64)]
+        assert first == second
+        # A 50% rate actually splits the key space both ways.
+        assert any(first) and not all(first)
+
+    def test_seed_changes_the_draw(self, fault_env):
+        decisions = {}
+        for seed in ("0", "1"):
+            plan = fault_env(
+                REPRO_FAULT_SQLITE_LOCK="0.5", **{_SEED_ENV: seed}
+            )
+            decisions[seed] = [
+                plan.should_fire("sqlite-lock", key=k) for k in range(64)
+            ]
+        assert decisions["0"] != decisions["1"]
+
+    def test_attempts_bound_retries(self, fault_env):
+        plan = fault_env(REPRO_FAULT_SQLITE_LOCK="1.0,attempts=2")
+        assert plan.should_fire("sqlite-lock", key=7, attempt=0)
+        assert plan.should_fire("sqlite-lock", key=7, attempt=1)
+        assert not plan.should_fire("sqlite-lock", key=7, attempt=2)
+
+
+class TestZeroOverheadAndObservability:
+    def test_disarmed_is_inert(self, disarmed):
+        assert not faults.armed()
+        faults.fire("sqlite-lock")  # no-op, must not raise
+        assert not faults.should_fire("sqlite-lock")
+
+    def test_refresh_rearms_and_resets_counters(self, fault_env):
+        plan = fault_env(REPRO_FAULT_SLOW_SOLVE="1.0,seconds=0.01")
+        faults.fire("slow-solve")
+        assert plan.fired["slow-solve"] == 1
+        plan.refresh()
+        assert plan.fired == {}
+
+    def test_raise_kind_raises_registered_exception(self, fault_env):
+        import sqlite3
+
+        plan = fault_env(REPRO_FAULT_SQLITE_LOCK="1.0")
+        with pytest.raises(sqlite3.OperationalError, match="injected"):
+            faults.fire("sqlite-lock")
+        assert plan.fired["sqlite-lock"] == 1
+
+
+def test_every_injection_point_env_is_registered():
+    """The declarations the lint rule cross-checks, checked at runtime too."""
+    names = env_registry.registered_names()
+    for point in faults.INJECTION_POINTS:
+        assert point.env in names, point.name
+    assert _SEED_ENV in names

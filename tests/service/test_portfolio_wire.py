@@ -56,13 +56,14 @@ class TestRequestWire:
         "overrides, match",
         [
             (dict(method="portfolio"), "positive deadline_s"),
-            (dict(method="portfolio", deadline_s=0.0), "positive deadline_s"),
-            (dict(method="portfolio", deadline_s=-1.0), "positive deadline_s"),
+            (dict(method="portfolio", deadline_s=0.0), "deadline_s must be positive"),
+            (dict(method="portfolio", deadline_s=-1.0), "deadline_s must be positive"),
             (
                 dict(method="portfolio", deadline_s=1.0, engines=("erica",)),
                 "unknown portfolio engine",
             ),
-            (dict(method="milp", deadline_s=1.0), "only valid with method='portfolio'"),
+            (dict(method="milp", deadline_s=0.0), "deadline_s must be positive"),
+            (dict(method="naive", deadline_s=-2.0), "deadline_s must be positive"),
             (
                 dict(method="naive", engines=("milp",)),
                 "only valid with method='portfolio'",
