@@ -58,6 +58,14 @@ ENV_VARS: tuple[EnvVar, ...] = (
         "`branch_and_bound`); unknown values raise.",
     ),
     EnvVar(
+        "REPRO_MILP_LAZY",
+        "1",
+        SCOPE_RUNTIME,
+        "Set to 0 to disable lazy constraint generation: `RefinementSolver` "
+        "then lowers every constraint family eagerly instead of running the "
+        "cutting-plane loop over the rank/top-k/distance pools.",
+    ),
+    EnvVar(
         "REPRO_DEBUG_LOCKS",
         "0",
         SCOPE_RUNTIME,
@@ -142,6 +150,13 @@ ENV_VARS: tuple[EnvVar, ...] = (
         "2.89",
         SCOPE_BENCHMARK,
         "Wall-clock budget (seconds) of the meps MILP+OPT lowering guard.",
+    ),
+    EnvVar(
+        "REPRO_KEN_SMOKE_BUDGET",
+        "12.0",
+        SCOPE_BENCHMARK,
+        "Wall-clock budget (seconds) of the law_students MILP+OPT Kendall "
+        "lazy-generation guard (the eager baseline takes ~24s).",
     ),
     EnvVar(
         "REPRO_ERICA_SMOKE_BUDGET",

@@ -53,6 +53,7 @@ import numpy as np
 from repro.core.constraints import BoundType, ConstraintSet
 from repro.core.context import MILPBuildContext
 from repro.core.distances import DistanceMeasure
+from repro.core.lazy_generation import LazyPool, LinkingConstraintSink, RankCompletion
 from repro.core.optimizations import (
     BuilderOptions,
     classify_bound_types,
@@ -130,6 +131,13 @@ class RowBatch:
 
     def __len__(self) -> int:
         return len(self.rhs)
+
+
+def pool_from_batch(name: str, batch: RowBatch, group_keys: list[int]) -> LazyPool:
+    """Freeze a row batch into a :class:`LazyPool` (one key per row)."""
+    return LazyPool(
+        name, batch.rows, batch.cols, batch.coeffs, batch.senses, batch.rhs, group_keys
+    )
 
 
 def flush_rows(model: Model, batch: RowBatch, block_lowering: bool) -> None:
@@ -295,13 +303,23 @@ def selection_rows(
 
 @dataclass
 class BuildArtifacts:
-    """Everything the solver needs after the model is built."""
+    """Everything the solver needs after the model is built.
+
+    ``lazy_pools`` is non-empty only under
+    ``BuilderOptions(lazy_generation=True)``: the withheld constraint
+    families the cut-loop driver separates over.  Pool state (which rows are
+    still pending) lives on the artifacts, so repeated solves of a prepared
+    problem — portfolio time slices, a warm service session — resume from
+    whatever rows earlier rounds already generated.
+    """
 
     model: Model
     context: MILPBuildContext
     options: BuilderOptions
     extract_refinement: Callable[[Solution], Refinement]
     statistics: dict[str, int] = field(default_factory=dict)
+    lazy_pools: list[LazyPool] = field(default_factory=list)
+    complete_candidate: RankCompletion | None = None
 
 
 class MILPBuilder:
@@ -348,6 +366,13 @@ class MILPBuilder:
             self.options.merge_lineage_variables and not self.query.distinct
         )
         self._merged_selection = merge_lineage
+        self._lazy_pools = []
+        self._rank_completion: RankCompletion | None = None
+        sink = (
+            LinkingConstraintSink(self._model)
+            if self.options.lazy_generation
+            else None
+        )
 
         self._build_predicate_variables()
         self._build_selection_variables(merge_lineage)
@@ -364,6 +389,7 @@ class MILPBuilder:
             categorical_variables=self._categorical_variables,
             numerical_constant_variables=self._numerical_constant_variables,
             topk_variables=self._topk_variables,
+            linking_sink=sink,
         )
 
         distance_required = self.distance.required_topk_positions(context)
@@ -373,11 +399,22 @@ class MILPBuilder:
 
         objective = self.distance.build_objective(context)
         self._model.minimize(objective)
+        if sink is not None and len(sink):
+            self._lazy_pools.append(sink.into_pool("distance"))
+        if self._lazy_pools:
+            self._seed_original_topk_groups(context)
 
         statistics = dict(self._model.summary())
         statistics["annotated_tuples"] = len(self.annotated)
         statistics["lineage_classes"] = self.annotated.num_lineage_classes
         statistics["topk_variables"] = len(self._topk_variables)
+        if self.options.lazy_generation:
+            # The seed is what the first relaxation actually carries; pending
+            # pool rows only enter the model when the cut loop generates them.
+            statistics["seed_rows"] = self._model.num_constraints
+            statistics["lazy_pool_rows"] = sum(
+                len(pool) for pool in self._lazy_pools
+            )
 
         return BuildArtifacts(
             model=self._model,
@@ -385,7 +422,38 @@ class MILPBuilder:
             options=self.options,
             extract_refinement=self._extract_refinement,
             statistics=statistics,
+            lazy_pools=self._lazy_pools,
+            complete_candidate=self._rank_completion,
         )
+
+    def _seed_original_topk_groups(self, context: MILPBuildContext) -> None:
+        """Move the original top-k positions' pool groups into the eager seed.
+
+        The objective scores exactly these positions (a distance-0 refinement
+        keeps every one of them in the top-k), so their rank/membership/linking
+        rows are active at almost every optimum.  Seeding them up front saves
+        the cut loop a crawl of rounds that would pull them in one group at a
+        time, while the bulk of the pools — the rank machinery of every
+        *other* tuple — stays lazy.
+        """
+        seed_keys = np.unique(
+            np.fromiter(
+                (
+                    position
+                    for positions in context.original_topk_positions
+                    for position in positions
+                ),
+                dtype=np.int64,
+            )
+        )
+        if not seed_keys.size:
+            return
+        for pool in self._lazy_pools:
+            block = pool.take(seed_keys)
+            if block is not None:
+                self._model.add_constraint_block(*block)
+        # A fully-seeded pool has nothing left to separate.
+        self._lazy_pools = [pool for pool in self._lazy_pools if pool.num_pending]
 
     # -- row emission ----------------------------------------------------------------
 
@@ -593,7 +661,25 @@ class MILPBuilder:
             chain_cols.append(chain_col)
         self._flush(chain_batch)
 
+        # Under lazy generation the rank-definition and top-k membership rows
+        # are withheld as two pools keyed by tuple position (the chain rows
+        # above stay eager: they only tie the prefix variables to the
+        # selection variables and every rank row references them).  The loop
+        # below is shared by both modes so the eager path keeps its exact row
+        # emission order.
+        lazy = self.options.lazy_generation
         batch = RowBatch()
+        rank_batch = RowBatch() if lazy else batch
+        topk_batch = RowBatch() if lazy else batch
+        rank_keys: list[int] = []
+        topk_keys: list[int] = []
+        # Triplets of the rank definitions *without* their rank-variable term,
+        # feeding the candidate completion: implied rank = rhs - expr.
+        completion_rows: list[int] = []
+        completion_cols: list[int] = []
+        completion_coeffs: list[float] = []
+        completion_rhs: list[float] = []
+        completion_rank_cols: list[int] = []
         for position, ks in needed_items:
             index = index_of_position[position]
             selection_col = selection_cols[index]
@@ -624,20 +710,28 @@ class MILPBuilder:
                 in ({BoundType.LOWER}, {BoundType.UPPER})
             )
             if relax and bound_types[position] == {BoundType.LOWER}:
-                batch.add_row(
+                rank_batch.add_row(
                     definition_cols, definition_coeffs, SENSE_GE, definition_rhs,
                     name=f"rank_lb[{position}]",
                 )
             elif relax and bound_types[position] == {BoundType.UPPER}:
-                batch.add_row(
+                rank_batch.add_row(
                     definition_cols, definition_coeffs, SENSE_LE, definition_rhs,
                     name=f"rank_ub[{position}]",
                 )
             else:
-                batch.add_row(
+                rank_batch.add_row(
                     definition_cols, definition_coeffs, SENSE_EQ, definition_rhs,
                     name=f"rank[{position}]",
                 )
+            rank_keys.append(position)
+            if lazy:
+                row = len(completion_rhs)
+                completion_rows.extend([row] * (len(definition_cols) - 1))
+                completion_cols.extend(definition_cols[1:])
+                completion_coeffs.extend(definition_coeffs[1:])
+                completion_rhs.append(definition_rhs)
+                completion_rank_cols.append(rank_col)
 
             for k in sorted(ks):
                 member = self._model.binary_var(f"l[{position},{k}]")
@@ -645,17 +739,32 @@ class MILPBuilder:
                 member_col = self._column(member)
                 coefficient = 2.0 * size + 1.0
                 # Expression (6): member = 1 <=> rank <= k.
-                batch.add_row(
+                topk_batch.add_row(
                     [rank_col, member_col], [1.0, coefficient],
                     SENSE_GE, float(k) + _RANK_DELTA,
                     name=f"topk_lb[{position},{k}]",
                 )
-                batch.add_row(
+                topk_batch.add_row(
                     [rank_col, member_col], [1.0, coefficient],
                     SENSE_LE, float(k) + coefficient,
                     name=f"topk_ub[{position},{k}]",
                 )
-        self._flush(batch)
+                topk_keys.extend((position, position))
+        if lazy:
+            if len(rank_batch):
+                self._lazy_pools.append(pool_from_batch("rank", rank_batch, rank_keys))
+            if len(topk_batch):
+                self._lazy_pools.append(pool_from_batch("topk", topk_batch, topk_keys))
+            if completion_rhs:
+                self._rank_completion = RankCompletion(
+                    completion_rank_cols,
+                    completion_rows,
+                    completion_cols,
+                    completion_coeffs,
+                    completion_rhs,
+                )
+        else:
+            self._flush(batch)
 
     # -- expressions (7) and (8): deviation ------------------------------------------------
 

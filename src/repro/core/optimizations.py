@@ -49,12 +49,35 @@ class BuilderOptions:
         forms (asserted by the golden tests), so it is ``True`` for the
         paper's ``MILP`` and ``MILP+opt`` configurations alike and exists as
         a switch only for those tests and for debugging.
+    lazy_generation:
+        Withhold the separable constraint families (rank definitions, top-k
+        membership rows, Kendall distance-linking rows) from the model as
+        :class:`repro.core.lazy_generation.LazyPool` objects instead of
+        lowering them eagerly; the solver facade then drives the
+        cutting-plane loop (:func:`repro.core.lazy_generation.run_cut_loop`)
+        over them.  Like ``block_lowering`` this is a solve strategy, not a
+        Section 4 optimization — the loop provably converges to the same
+        optima — so it defaults to ``False`` here and is switched on by
+        :class:`repro.core.solver.RefinementSolver` for the ``MILP`` and
+        ``MILP+opt`` configurations alike (``REPRO_MILP_LAZY``).
+    lazy_generation_min_rows:
+        Pool-size floor for the loop: when a build's pools end up holding
+        fewer pending rows than this, the solver facade rebuilds the model
+        eagerly (byte-identical to ``lazy_generation=False``).  Row
+        generation only pays off when the withheld rows dominate the solve;
+        on small models the repeated backend start-up costs more than it
+        saves.  ``0`` (the default) disables the floor — callers forcing
+        ``lazy_generation=True`` get the loop unconditionally; the solver
+        facade's environment-default path applies
+        :data:`repro.core.lazy_generation.MIN_LAZY_POOL_ROWS`.
     """
 
     relevancy_pruning: bool = True
     merge_lineage_variables: bool = True
     relax_rank_expressions: bool = True
     block_lowering: bool = True
+    lazy_generation: bool = False
+    lazy_generation_min_rows: int = 0
 
     @classmethod
     def none(cls) -> "BuilderOptions":

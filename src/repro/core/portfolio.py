@@ -25,7 +25,8 @@ Bound-sharing protocol
   re-read every candidate) and stop as soon as their incumbent matches it.
 * MILP engines receive the bound at launch as ``known_lower_bound`` (the
   branch-and-bound backend terminates the moment its incumbent matches it;
-  SciPy/HiGHS ignores it and is bounded by its ``time_limit`` split instead).
+  SciPy/HiGHS maps it to the ``objective_target`` option and stops just the
+  same, reporting the incumbent with a time-limit status).
   Staggered starts therefore inherit everything earlier engines proved.
 * Incumbents (unproven feasible answers) are streamed through the result
   queue as :class:`IncumbentUpdate` messages, so an engine cancelled at the
@@ -688,9 +689,9 @@ class PortfolioSolver:
         geometrically (bounded restart overhead) up to the slice cap, and
         between slices the engine polls ``should_stop``, re-reads the
         latest proven ``known_lower_bound`` (branch_and_bound terminates the
-        moment its incumbent matches it; the scipy backend ignores the
-        option and is bounded by the slice's ``time_limit``), and streams
-        any improved incumbent to the race.
+        moment its incumbent matches it; the scipy backend stops via the
+        HiGHS ``objective_target`` option), and streams any improved
+        incumbent to the race.
         """
         label = spec.label
         deadline_at = self._clock.now() + budget

@@ -12,11 +12,14 @@ The solver glues the pieces together:
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.constraints import ConstraintSet
+from repro.core.deadline import current_deadline
 from repro.core.distances import DistanceMeasure, PredicateDistance, get_distance
+from repro.core.lazy_generation import MIN_LAZY_POOL_ROWS, run_cut_loop
 from repro.core.milp_builder import BuildArtifacts, MILPBuilder
 from repro.core.optimizations import BuilderOptions, apply_relevancy_pruning
 from repro.core.refinement import Refinement
@@ -27,6 +30,12 @@ from repro.relational.database import Database
 from repro.relational.executor import QueryExecutor, RankedResult
 from repro.relational.query import SPJQuery
 from repro.relational.sqlgen import render_sql
+
+
+def lazy_generation_default() -> bool:
+    """Whether ``REPRO_MILP_LAZY`` enables the cutting-plane loop (default on)."""
+    value = os.environ.get("REPRO_MILP_LAZY", "1").strip().lower()
+    return value not in ("0", "false", "off", "no", "")
 
 
 @dataclass
@@ -119,6 +128,18 @@ class RefinementSolver:
         on-disk sqlite path, forwarded to :class:`QueryExecutor`; both
         default to the ``REPRO_EXECUTOR_BACKEND`` / ``REPRO_EXECUTOR_DB``
         environment variables.
+    lazy_generation:
+        Drive the solve as a cutting-plane loop over lazily-generated
+        constraint pools (see :mod:`repro.core.lazy_generation`) instead of
+        lowering every row eagerly.  ``None`` (the default) follows the
+        ``REPRO_MILP_LAZY`` environment variable, which defaults to on, and
+        additionally applies a pool-size floor
+        (:data:`~repro.core.lazy_generation.MIN_LAZY_POOL_ROWS`): models too
+        small for row generation to pay off solve eagerly.  Passing ``True``
+        explicitly forces the loop regardless of model size.  The loop
+        converges to the same optima as the eager lowering and returns a
+        typed time-limited incumbent when the budget or the ambient
+        :class:`~repro.core.deadline.Deadline` expires.
     """
 
     def __init__(
@@ -136,6 +157,7 @@ class RefinementSolver:
         solver_options: dict | None = None,
         executor: QueryExecutor | None = None,
         annotated: AnnotatedDatabase | None = None,
+        lazy_generation: bool | None = None,
     ) -> None:
         method = method.lower()
         if method not in ("milp", "milp+opt"):
@@ -149,9 +171,25 @@ class RefinementSolver:
         self.backend = backend
         self.time_limit = time_limit
         self.solver_options = dict(solver_options or {})
+        self.lazy_generation = (
+            lazy_generation
+            if lazy_generation is not None
+            else lazy_generation_default()
+        )
         self.options = (
             BuilderOptions.all() if method == "milp+opt" else BuilderOptions.none()
         )
+        if self.lazy_generation:
+            # An explicit lazy_generation=True forces the loop; the
+            # environment-default path applies the pool-size floor so small
+            # models (where the loop's extra backend start-ups cost more
+            # than the smaller matrix saves) stay on the eager lowering.
+            min_rows = MIN_LAZY_POOL_ROWS if lazy_generation is None else 0
+            self.options = replace(
+                self.options,
+                lazy_generation=True,
+                lazy_generation_min_rows=min_rows,
+            )
         # A warm dataset session shares its executor and pre-annotated ~Q(D)
         # across solver instances; one-shot callers build both here.
         self._executor = executor or QueryExecutor(
@@ -186,13 +224,18 @@ class RefinementSolver:
             prepared = self.prepare()
         original_result, artifacts = prepared.original_result, prepared.artifacts
 
-        solution = artifacts.model.solve(
-            self.backend, time_limit=self.time_limit, **self.solver_options
-        )
+        if artifacts.lazy_pools:
+            solution, cut_statistics = self._solve_cut_loop(artifacts)
+        else:
+            solution = artifacts.model.solve(
+                self.backend, time_limit=self.time_limit, **self.solver_options
+            )
+            cut_statistics = {}
         solve_seconds = solution.solve_seconds
 
         result = self._extract(original_result, artifacts, solution)
         result.model_statistics["full_lowerings"] = artifacts.model.full_lowerings
+        result.model_statistics.update(cut_statistics)
         result.setup_seconds = prepared.setup_seconds
         result.solve_seconds = solve_seconds
         result.total_seconds = prepared.setup_seconds + solve_seconds
@@ -204,6 +247,40 @@ class RefinementSolver:
         return result
 
     # -- internals -------------------------------------------------------------------
+
+    def _solve_cut_loop(self, artifacts: BuildArtifacts) -> tuple[Solution, dict]:
+        """Drive the cutting-plane loop over the artifacts' lazy pools.
+
+        The loop budget is ``self.time_limit`` clamped by the ambient
+        :func:`~repro.core.deadline.current_deadline`; each round's backend
+        solve gets whatever remains.  A ``known_lower_bound`` the caller put
+        into ``solver_options`` (the portfolio race's proven bound) seeds the
+        loop's own bound; the bound and the previous round's incumbent are
+        threaded to the backends as guidance, on top of the caller's other
+        options.
+        """
+        options = dict(self.solver_options)
+        external_bound = options.pop("known_lower_bound", None)
+
+        def backend_solve(limit: float | None, guidance: dict) -> Solution:
+            merged = dict(options)
+            merged.update(guidance)
+            return artifacts.model.solve(self.backend, time_limit=limit, **merged)
+
+        outcome = run_cut_loop(
+            artifacts.model,
+            artifacts.lazy_pools,
+            backend_solve,
+            time_limit=self.time_limit,
+            deadline=current_deadline(),
+            external_bound=external_bound,
+            completion=artifacts.complete_candidate,
+        )
+        solution = replace(outcome.solution, solve_seconds=outcome.solve_seconds)
+        return solution, {
+            "cut_rounds": outcome.rounds,
+            "rows_generated": outcome.rows_generated,
+        }
 
     def _setup(self) -> tuple[RankedResult, BuildArtifacts]:
         original_result = self._executor.evaluate(self.query)
@@ -222,7 +299,24 @@ class RefinementSolver:
             original_result=original_result,
             options=self.options,
         )
-        return original_result, builder.build()
+        artifacts = builder.build()
+        if artifacts.lazy_pools and self.options.lazy_generation_min_rows:
+            pending = sum(pool.num_pending for pool in artifacts.lazy_pools)
+            if pending < self.options.lazy_generation_min_rows:
+                # Too small for row generation to pay off: rebuild eagerly
+                # so the model (and its row order) is byte-identical to the
+                # lazy_generation=False lowering.  Small pools mean a small
+                # model, so the second build costs milliseconds.
+                artifacts = MILPBuilder(
+                    query=self.query,
+                    annotated=annotated,
+                    constraints=self.constraints,
+                    epsilon=self.epsilon,
+                    distance=self.distance,
+                    original_result=original_result,
+                    options=replace(self.options, lazy_generation=False),
+                ).build()
+        return original_result, artifacts
 
     def _maybe_prune(
         self, annotated: AnnotatedDatabase, original_result: RankedResult

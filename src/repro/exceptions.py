@@ -44,8 +44,13 @@ class RetryableError(ReproError):
     error_code = "retryable"
 
 
-class ModelError(ReproError):
-    """Raised when a MILP model is malformed (bad bounds, unknown variable, ...)."""
+class ModelError(ReproError, ValueError):
+    """Raised when a MILP model is malformed (bad bounds, unknown variable, ...).
+
+    Also a :class:`ValueError`: model-construction mistakes (mismatched block
+    arrays, unknown senses) are argument errors, and callers validating
+    inputs can catch them with a plain ``except ValueError``.
+    """
 
     error_code = "model"
 

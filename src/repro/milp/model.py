@@ -98,19 +98,52 @@ def _sense_codes(senses, num_rows: int) -> np.ndarray:
     return codes
 
 
+def _block_floats(values, name: str) -> np.ndarray:
+    """Coerce a block array to 1-D float64, raising :class:`ModelError` on junk."""
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"block {name} must be numeric: {exc}") from None
+    if array.ndim != 1:
+        raise ModelError(
+            f"block {name} must be a one-dimensional array, got shape {array.shape}"
+        )
+    return array
+
+
+def _block_indices(values, name: str) -> np.ndarray:
+    """Coerce block row/column indices to 1-D int64, rejecting lossy casts."""
+    try:
+        array = np.asarray(values)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - asarray rarely raises
+        raise ModelError(f"block {name} must be integer indices: {exc}") from None
+    if array.ndim != 1:
+        raise ModelError(
+            f"block {name} must be a one-dimensional array, got shape {array.shape}"
+        )
+    if array.size == 0:
+        # An empty Python list defaults to float64; there is nothing to
+        # truncate, so accept it as the empty index set.
+        return np.zeros(0, dtype=np.int64)
+    if array.dtype.kind not in "iu":
+        # Floats would silently truncate (2.7 -> 2); anything else is junk.
+        raise ModelError(
+            f"block {name} must be integer indices, got dtype {array.dtype}"
+        )
+    return array.astype(np.int64, copy=False)
+
+
 class _ConstraintBlock:
     """A batch of constraint rows stored as COO triplets (internal)."""
 
     __slots__ = ("rows", "cols", "coeffs", "senses", "rhs", "num_rows")
 
     def __init__(self, rows, cols, coeffs, senses, rhs, num_variables: int) -> None:
-        rhs = np.asarray(rhs, dtype=np.float64)
-        if rhs.ndim != 1:
-            raise ModelError("block rhs must be a one-dimensional array")
+        rhs = _block_floats(rhs, "rhs")
         num_rows = rhs.shape[0]
-        self.rows = np.asarray(rows, dtype=np.int64)
-        self.cols = np.asarray(cols, dtype=np.int64)
-        self.coeffs = np.asarray(coeffs, dtype=np.float64)
+        self.rows = _block_indices(rows, "row indices")
+        self.cols = _block_indices(cols, "column indices")
+        self.coeffs = _block_floats(coeffs, "coefficients")
         self.senses = _sense_codes(senses, num_rows)
         self.rhs = rhs
         self.num_rows = num_rows

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
@@ -41,6 +42,7 @@ class ScipySolver(SolverBackend):
         time_limit: float | None = None,
         mip_rel_gap: float = 0.0,
         presolve: bool | None = None,
+        known_lower_bound: float | None = None,
         **options,
     ) -> Solution:
         """Solve ``model`` through :func:`scipy.optimize.milp`.
@@ -51,6 +53,18 @@ class ScipySolver(SolverBackend):
         ``TIME_LIMIT``/``NODE_LIMIT`` stop the best incumbent found so far is
         returned (``res.x`` is present), not an empty solution, so callers —
         and the benchmark rows — still see the best-found objective.
+
+        ``known_lower_bound`` — a proven bound no feasible solution can beat
+        (the cut loop's round bound, a portfolio race's published proof) —
+        maps to the HiGHS ``objective_target``: HiGHS stops the moment an
+        incumbent reaches it.  SciPy's wrapper extracts the solution vector
+        only for a fixed allowlist of model statuses that does not include
+        the target stop (HiGHS status 12), so when that stop fires the
+        incumbent comes back as ``res.x is None`` with an error code.  The
+        stop itself proves the optimum equals the bound, so the backend
+        re-solves once without the target to recover the incumbent — the
+        guidance then costs one extra (early-stopped) solve instead of
+        returning an empty ``ERROR`` solution.
         """
         try:
             from scipy.optimize import Bounds, LinearConstraint, milp
@@ -84,15 +98,45 @@ class ScipySolver(SolverBackend):
         if presolve is not None:
             solver_options["presolve"] = bool(presolve)
         solver_options.update(options.get("highs_options", {}))
+        if known_lower_bound is not None:
+            # Translate the external-objective bound into HiGHS's internal
+            # minimisation units (constant stripped, sign flipped when the
+            # model maximises).
+            target = float(known_lower_bound) - form.objective_constant
+            if form.maximize:
+                target = -target
+            solver_options["objective_target"] = target
 
         started = time.perf_counter()
-        result = milp(
-            c=form.c,
-            constraints=constraints,
-            integrality=form.integrality,
-            bounds=bounds,
-            options=solver_options,
-        )
+        with warnings.catch_warnings():
+            # scipy.optimize.milp warns about options it does not recognise
+            # before passing them to HiGHS verbatim; objective_target is one
+            # of those, and the pass-through is exactly what we want.
+            warnings.filterwarnings(
+                "ignore", message="Unrecognized options detected"
+            )
+            result = milp(
+                c=form.c,
+                constraints=constraints,
+                integrality=form.integrality,
+                bounds=bounds,
+                options=solver_options,
+            )
+            if result.x is None and "objective_target" in solver_options:
+                # HiGHS stopped because an incumbent reached the objective
+                # target, but scipy discards the solution vector for that
+                # model status.  Reaching the target proves the optimum
+                # equals the known bound, so an ordinary re-solve recovers
+                # the incumbent.
+                retry_options = dict(solver_options)
+                del retry_options["objective_target"]
+                result = milp(
+                    c=form.c,
+                    constraints=constraints,
+                    integrality=form.integrality,
+                    bounds=bounds,
+                    options=retry_options,
+                )
         elapsed = time.perf_counter() - started
 
         status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)

@@ -1,0 +1,144 @@
+"""Validation tests for ``Model.add_constraint_block`` inputs.
+
+The cut loop appends separated rows as raw COO triplets, so malformed
+blocks must fail loudly at the model boundary — with :class:`ModelError`
+(which is also a ``ValueError``) and a message naming the offending array —
+instead of being silently coerced into a wrong matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, ReproError
+from repro.milp.model import SENSE_LE, Model
+
+
+def make_model(num_variables: int = 3) -> Model:
+    model = Model("block-validation")
+    for index in range(num_variables):
+        model.binary_var(f"x{index}")
+    return model
+
+
+def valid_block() -> dict:
+    return {
+        "rows": np.array([0, 0, 1], dtype=np.int64),
+        "cols": np.array([0, 1, 2], dtype=np.int64),
+        "coeffs": np.array([1.0, 2.0, -1.0]),
+        "senses": SENSE_LE,
+        "rhs": np.array([4.0, 0.0]),
+    }
+
+
+def test_valid_block_accepted():
+    model = make_model()
+    model.add_constraint_block(**valid_block())
+    assert model.num_constraints == 2
+
+
+def test_model_error_is_a_value_error():
+    assert issubclass(ModelError, ValueError)
+    assert issubclass(ModelError, ReproError)
+
+
+@pytest.mark.parametrize("field", ["rows", "cols", "coeffs"])
+def test_mismatched_triplet_lengths_raise(field):
+    model = make_model()
+    block = valid_block()
+    block[field] = block[field][:-1]
+    with pytest.raises(ModelError, match="matching shapes"):
+        model.add_constraint_block(**block)
+
+
+def test_unknown_sense_scalar_raises():
+    model = make_model()
+    block = valid_block()
+    block["senses"] = "!="
+    with pytest.raises(ModelError, match="unknown constraint sense"):
+        model.add_constraint_block(**block)
+
+
+def test_unknown_sense_code_array_raises():
+    model = make_model()
+    block = valid_block()
+    block["senses"] = np.array([SENSE_LE, 7], dtype=np.int64)
+    with pytest.raises(ModelError, match="unknown constraint sense"):
+        model.add_constraint_block(**block)
+
+
+def test_sense_array_length_mismatch_raises():
+    model = make_model()
+    block = valid_block()
+    block["senses"] = np.array([SENSE_LE], dtype=np.int64)
+    with pytest.raises(ModelError, match="1 entries for 2 rows"):
+        model.add_constraint_block(**block)
+
+
+def test_two_dimensional_triplets_raise():
+    # Matching 2-D shapes used to slip through the shape-equality check.
+    model = make_model()
+    block = valid_block()
+    block["rows"] = block["rows"].reshape(1, 3)
+    block["cols"] = block["cols"].reshape(1, 3)
+    block["coeffs"] = block["coeffs"].reshape(1, 3)
+    with pytest.raises(ModelError, match="one-dimensional"):
+        model.add_constraint_block(**block)
+
+
+def test_two_dimensional_rhs_raises():
+    model = make_model()
+    block = valid_block()
+    block["rhs"] = block["rhs"].reshape(2, 1)
+    with pytest.raises(ModelError, match="one-dimensional"):
+        model.add_constraint_block(**block)
+
+
+def test_float_indices_raise_instead_of_truncating():
+    # np.asarray(..., dtype=int64) would turn 2.7 into row 2 silently.
+    model = make_model()
+    block = valid_block()
+    block["rows"] = np.array([0.0, 0.5, 1.0])
+    with pytest.raises(ModelError, match="integer indices"):
+        model.add_constraint_block(**block)
+
+
+def test_non_numeric_coefficients_raise_model_error():
+    model = make_model()
+    block = valid_block()
+    block["coeffs"] = np.array(["a", "b", "c"])
+    with pytest.raises(ModelError, match="coefficients must be numeric"):
+        model.add_constraint_block(**block)
+
+
+def test_non_numeric_rhs_raises_model_error():
+    model = make_model()
+    block = valid_block()
+    block["rhs"] = ["x", "y"]
+    with pytest.raises(ModelError, match="rhs must be numeric"):
+        model.add_constraint_block(**block)
+
+
+def test_row_index_out_of_range_raises():
+    model = make_model()
+    block = valid_block()
+    block["rows"] = np.array([0, 0, 5], dtype=np.int64)
+    with pytest.raises(ModelError, match="row indices must lie"):
+        model.add_constraint_block(**block)
+
+
+def test_column_index_out_of_range_raises():
+    model = make_model()
+    block = valid_block()
+    block["cols"] = np.array([0, 1, 9], dtype=np.int64)
+    with pytest.raises(ModelError, match="column indices must lie"):
+        model.add_constraint_block(**block)
+
+
+def test_empty_triplets_with_rows_accepted():
+    # A block may carry empty-expression rows (0 <= rhs); empty Python lists
+    # default to float64 and must still be accepted as index arrays.
+    model = make_model()
+    model.add_constraint_block([], [], [], SENSE_LE, [1.0])
+    assert model.num_constraints == 1

@@ -16,7 +16,8 @@ import pytest
 
 import repro.milp.solvers.branch_and_bound as bnb
 from repro.milp import Model, SolveStatus
-from repro.milp.solvers import BranchAndBoundSolver
+from repro.milp.solvers import BranchAndBoundSolver, ScipySolver
+from repro.milp.solvers.scipy_backend import scipy_milp_available
 
 
 def knapsack():
@@ -94,6 +95,52 @@ def test_infeasible_warm_start_is_discarded_not_trusted():
     # infeasible assignment; the search runs and finds the true optimum.
     assert solution.is_optimal
     assert solution.objective_value == pytest.approx(56.0)
+
+
+@pytest.mark.skipif(not scipy_milp_available(), reason="scipy.optimize.milp missing")
+def test_scipy_objective_target_stop_recovers_the_incumbent(monkeypatch):
+    """The target stop (HiGHS status 12) must not surface as an empty ERROR.
+
+    scipy's wrapper discards the solution vector when HiGHS stops on
+    ``objective_target``, so the backend re-solves once without the target.
+    The first (discarded) stop is simulated here because whether HiGHS
+    checks the target before or after proving optimality is timing-dependent
+    on small models.
+    """
+    import scipy.optimize
+
+    model, _ = knapsack()
+    reference = ScipySolver().solve(model)
+    assert reference.is_optimal
+
+    real_milp = scipy.optimize.milp
+    calls = []
+
+    def target_stopping(*args, **kwargs):
+        options = kwargs.get("options", {})
+        calls.append(dict(options))
+        if "objective_target" in options:
+            from scipy.optimize import OptimizeResult
+
+            return OptimizeResult(
+                status=4,
+                x=None,
+                fun=None,
+                message=(
+                    "model_status is Target for objective reached; "
+                    "primal_status is Feasible"
+                ),
+            )
+        return real_milp(*args, **kwargs)
+
+    monkeypatch.setattr(scipy.optimize, "milp", target_stopping)
+    solution = ScipySolver().solve(
+        model, known_lower_bound=reference.objective_value
+    )
+    assert len(calls) == 2
+    assert "objective_target" in calls[0] and "objective_target" not in calls[1]
+    assert solution.is_feasible and solution.has_incumbent
+    assert solution.objective_value == pytest.approx(reference.objective_value)
 
 
 def test_has_incumbent_is_false_without_an_assignment():
